@@ -1,0 +1,152 @@
+(* The benchmark & experiment harness.
+
+   Running this executable regenerates every table and figure of the
+   paper (the experiment sections, shared with `amcast_cli experiment`)
+   and then reports Bechamel micro-benchmarks — one per experiment
+   family — for the cost of the underlying machinery. *)
+
+open Bechamel
+open Toolkit
+
+let experiment_sections () =
+  print_string (Experiments.all ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_log_ops =
+  Test.make ~name:"objects/log append+bump x64 (T2 machinery)"
+    (Staged.stage (fun () ->
+         let log = Log.create ~compare:Int.compare in
+         for i = 0 to 63 do
+           ignore (Log.append log i)
+         done;
+         for i = 0 to 63 do
+           Log.bump_and_lock log i (i + 8)
+         done;
+         Log.entries log))
+
+let bench_topology =
+  Test.make ~name:"topology/cyclic families, figure 1 (F1)"
+    (Staged.stage (fun () -> Topology.cyclic_families Topology.figure1))
+
+let bench_gamma =
+  let topo = Topology.figure1 in
+  let families = Topology.cyclic_families topo in
+  let fp = Failure_pattern.of_crashes ~n:5 [ (1, 5) ] in
+  let gamma = Gamma.make ~seed:1 topo ~families fp in
+  Test.make ~name:"fd/gamma query after crash (F1)"
+    (Staged.stage (fun () -> Gamma.groups gamma 0 20 0))
+
+let bench_algorithm1 =
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.never ~n:5 in
+  let workload = Workload.one_per_group topo in
+  Test.make ~name:"core/Algorithm 1 full run, figure 1 (T1.4)"
+    (Staged.stage (fun () -> Runner.run ~seed:1 ~topo ~fp ~workload ()))
+
+let bench_genuine_disjoint =
+  let topo = Topology.disjoint ~groups:8 ~size:3 in
+  let fp = Failure_pattern.never ~n:(Topology.n topo) in
+  let workload = Workload.one_per_group topo in
+  Test.make ~name:"core/Algorithm 1 run, 8 disjoint groups (B1)"
+    (Staged.stage (fun () -> Runner.run ~seed:1 ~topo ~fp ~workload ()))
+
+let bench_broadcast =
+  let topo = Topology.disjoint ~groups:8 ~size:3 in
+  let fp = Failure_pattern.never ~n:(Topology.n topo) in
+  let workload = Workload.one_per_group topo in
+  Test.make ~name:"baselines/broadcast run, 8 disjoint groups (B1)"
+    (Staged.stage (fun () -> Broadcast.run ~seed:1 ~topo ~fp ~workload ()))
+
+let bench_convoy =
+  let topo = Topology.ring ~groups:6 in
+  let fp = Failure_pattern.never ~n:(Topology.n topo) in
+  let workload = Workload.one_per_group topo in
+  Test.make ~name:"core/Algorithm 1 run, 6-ring (B2)"
+    (Staged.stage (fun () -> Runner.run ~seed:1 ~topo ~fp ~workload ()))
+
+let bench_fastlog =
+  let scope = Pset.of_list [ 1; 2 ] in
+  let group = Pset.of_list [ 0; 1; 2; 3 ] in
+  let fp = Failure_pattern.never ~n:5 in
+  let sigma_i = Sigma.make ~restrict:scope fp in
+  let sigma_g = Sigma.make ~restrict:group fp in
+  let omega_g = Omega.make ~restrict:group ~seed:3 fp in
+  Test.make ~name:"substrate/fast log, 4 uncontended appends (B3)"
+    (Staged.stage (fun () ->
+         let rl =
+           Replog.create ~scope ~group
+             ~sigma_inter:(Sigma.query sigma_i)
+             ~sigma_group:(Sigma.query sigma_g)
+             ~omega_group:(Omega.query omega_g)
+         in
+         Replog.append rl ~pid:1 ~op:0;
+         Replog.append rl ~pid:1 ~op:1;
+         Replog.append rl ~pid:2 ~op:0;
+         Replog.append rl ~pid:2 ~op:1;
+         Engine.run ~fp ~horizon:4000 ~quiesce_after:5
+           ~step:(fun ~pid ~time -> Replog.step rl ~pid ~time)
+           ()))
+
+let bench_gamma_extract =
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.of_crashes ~n:5 [ (1, 5) ] in
+  Test.make ~name:"emulation/Algorithm 3 run, figure 1 (F3)"
+    (Staged.stage (fun () ->
+         let ge = Gamma_extract.create ~topo ~fp () in
+         Gamma_extract.run ge ~horizon:300))
+
+let bench_cht =
+  let topo =
+    Topology.create ~n:4 [ Pset.of_list [ 0; 1; 2 ]; Pset.of_list [ 1; 2; 3 ] ]
+  in
+  let fp = Failure_pattern.of_crashes ~n:4 [ (2, 3) ] in
+  Test.make ~name:"cht/Algorithm 5 extraction (F4-F5)"
+    (Staged.stage (fun () -> Cht_extract.extract ~topo ~fp ~g:0 ~h:1 ()))
+
+let tests =
+  Test.make_grouped ~name:"amcast"
+    [
+      bench_log_ops;
+      bench_topology;
+      bench_gamma;
+      bench_algorithm1;
+      bench_genuine_disjoint;
+      bench_broadcast;
+      bench_convoy;
+      bench_fastlog;
+      bench_gamma_extract;
+      bench_cht;
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw_results in
+  print_endline "== Micro-benchmarks (monotonic clock) ==";
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let estimate =
+        match Analyze.OLS.estimates r with
+        | Some (e :: _) ->
+            if e > 1e6 then Printf.sprintf "%10.2f ms/run" (e /. 1e6)
+            else Printf.sprintf "%10.0f ns/run" e
+        | _ -> "     (no fit)"
+      in
+      Printf.printf "  %-52s %s\n" name estimate)
+    (List.sort compare rows)
+
+let () =
+  let skip_bench = Array.exists (( = ) "--no-bench") Sys.argv in
+  experiment_sections ();
+  if not skip_bench then run_benchmarks ()

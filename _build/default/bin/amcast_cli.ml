@@ -1,0 +1,218 @@
+(* Command-line front end: inspect topologies, simulate multicast runs,
+   and regenerate the paper's tables and figures.
+
+     amcast_cli analyze --topology figure1 --crash 1@5
+     amcast_cli run --topology ring:3 --msgs 5 --seed 7 --variant strict
+     amcast_cli experiment table1
+     amcast_cli experiment all *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let topology_of_string s =
+  match String.split_on_char ':' s with
+  | [ "figure1" ] -> Ok Topology.figure1
+  | [ "ring"; k ] -> Ok (Topology.ring ~groups:(int_of_string k))
+  | [ "chain"; k ] -> Ok (Topology.chain ~groups:(int_of_string k))
+  | [ "disjoint"; k ] -> Ok (Topology.disjoint ~groups:(int_of_string k) ~size:3)
+  | [ "star"; k ] ->
+      let k = int_of_string k in
+      Ok (Topology.star ~satellites:k ~hub_size:k)
+  | [ "random"; seed ] ->
+      Ok
+        (Topology.random
+           (Rng.make (int_of_string seed))
+           ~n:8 ~groups:4 ~max_group_size:4)
+  | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown topology %S (use figure1 | ring:K | chain:K | disjoint:K \
+              | star:K | random:SEED)"
+             s))
+
+let topology_conv =
+  Arg.conv
+    ( topology_of_string,
+      fun fmt _ -> Format.pp_print_string fmt "<topology>" )
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Topology.figure1
+    & info [ "t"; "topology" ] ~docv:"TOPOLOGY"
+        ~doc:
+          "Topology: figure1, ring:K, chain:K, disjoint:K, star:K or \
+           random:SEED.")
+
+let crash_of_string s =
+  match String.split_on_char '@' s with
+  | [ p; t ] -> (
+      try Ok (int_of_string p, int_of_string t)
+      with Failure _ -> Error (`Msg "crash must be P@T"))
+  | _ -> Error (`Msg "crash must be P@T")
+
+let crash_conv =
+  Arg.conv (crash_of_string, fun fmt (p, t) -> Format.fprintf fmt "%d@%d" p t)
+
+let crashes_arg =
+  Arg.(
+    value & opt_all crash_conv []
+    & info [ "c"; "crash" ] ~docv:"P@T" ~doc:"Crash process $(i,P) at tick $(i,T).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Schedule seed.")
+
+let msgs_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "m"; "msgs" ] ~docv:"N" ~doc:"Number of random messages.")
+
+let variant_arg =
+  let variants =
+    [
+      ("vanilla", Algorithm1.Vanilla);
+      ("strict", Algorithm1.Strict);
+      ("pairwise", Algorithm1.Pairwise);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum variants) Algorithm1.Vanilla
+    & info [ "variant" ] ~docv:"VARIANT" ~doc:"vanilla, strict or pairwise.")
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze topo crashes dot =
+  if dot then begin
+    let crashed =
+      Failure_pattern.faulty
+        (Failure_pattern.of_crashes ~n:(Topology.n topo) crashes)
+    in
+    print_string (Topology.to_dot topo ~crashed ());
+    exit 0
+  end;
+  Format.printf "%a@." Topology.pp topo;
+  let families = Topology.cyclic_families topo in
+  Format.printf "intersecting pairs:";
+  List.iter (fun (g, h) -> Format.printf " (g%d,g%d)" g h)
+    (Topology.intersecting_pairs topo);
+  Format.printf "@.cyclic families (%d):@." (List.length families);
+  List.iter
+    (fun fam ->
+      Format.printf "  %a with %d closed path(s)@." Topology.pp_family fam
+        (List.length (Topology.cpaths topo fam)))
+    families;
+  if crashes <> [] then begin
+    let fp = Failure_pattern.of_crashes ~n:(Topology.n topo) crashes in
+    let crashed = Failure_pattern.faulty fp in
+    Format.printf "@.with %a:@." Failure_pattern.pp fp;
+    List.iter
+      (fun fam ->
+        Format.printf "  %a faulty = %b@." Topology.pp_family fam
+          (Topology.family_faulty topo fam ~crashed))
+      families;
+    match Topology.blocking_edges topo families ~crashed with
+    | [] -> Format.printf "  no γ-liveness gap (Algorithm 1 stays live)@."
+    | edges ->
+        Format.printf
+          "  WARNING: γ-liveness gap on edges%s — see DESIGN.md (Lemma 25 corner)@."
+          (String.concat ""
+             (List.map (fun (g, h) -> Printf.sprintf " (g%d,g%d)" g h) edges))
+  end;
+  Ok ()
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit the intersection graph as GraphViz DOT.")
+
+let analyze_cmd =
+  let doc = "Inspect a topology: intersections, cyclic families, faultiness." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(term_result (const analyze $ topology_arg $ crashes_arg $ dot_arg))
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run topo crashes seed msgs variant =
+  let n = Topology.n topo in
+  let fp = Failure_pattern.of_crashes ~n crashes in
+  let workload = Workload.random (Rng.make seed) ~msgs ~max_at:10 topo in
+  List.iter
+    (fun { Workload.msg; at } ->
+      Format.printf "multicast %a at t=%d@." Amsg.pp msg at)
+    workload;
+  let o = Runner.run ~variant ~seed ~topo ~fp ~workload () in
+  Format.printf "@.";
+  List.iter
+    (fun (p, m, t, _) -> Format.printf "t=%-4d deliver m%d at p%d@." t m p)
+    (Trace.deliveries o.Runner.trace);
+  Format.printf "@.properties:@.";
+  List.iter
+    (fun (name, v) ->
+      Format.printf "  %-18s %s@." name
+        (match v with Ok () -> "ok" | Error e -> "VIOLATED: " ^ e))
+    (Properties.all o);
+  Ok ()
+
+let run_cmd =
+  let doc = "Simulate an atomic multicast run and check the specification." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      term_result
+        (const run $ topology_arg $ crashes_arg $ seed_arg $ msgs_arg
+       $ variant_arg))
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", Experiments.table1);
+    ("figure1", Experiments.figure1);
+    ("figure2", Experiments.figure2);
+    ("figure3", Experiments.figure3);
+    ("figure45", Experiments.figure45);
+    ("table2", Experiments.table2);
+    ("scaling", Experiments.scaling);
+    ("convoy", Experiments.convoy);
+    ("prop47", Experiments.prop47);
+    ("necessity", Experiments.necessity);
+    ("all", Experiments.all);
+  ]
+
+let experiment name =
+  match List.assoc_opt name experiments with
+  | Some f ->
+      print_string (f ());
+      Ok ()
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown experiment %S (one of: %s)" name
+             (String.concat ", " (List.map fst experiments))))
+
+let experiment_cmd =
+  let doc = "Regenerate a table or figure of the paper (or 'all')." in
+  let exp_name =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc)
+    (Term.term_result Term.(const experiment $ exp_name))
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "genuine atomic multicast and its weakest failure detector" in
+  let info = Cmd.info "amcast_cli" ~version:"1.0.0" ~doc in
+  Cmd.group info [ analyze_cmd; run_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

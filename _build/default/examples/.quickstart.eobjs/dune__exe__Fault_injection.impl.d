@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Failure_pattern Format List Properties Runner Skeen Topology Trace Workload

@@ -1,0 +1,1 @@
+examples/necessity_tour.ml: Axioms Cht_extract Failure_pattern Format Gamma_extract Indicator_extract List Printf Pset Sigma_extract Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amsg Array Engine Failure_pattern Format Fun List Properties Runner Topology Trace Workload

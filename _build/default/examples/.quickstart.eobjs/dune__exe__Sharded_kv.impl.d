@@ -1,0 +1,1 @@
+examples/sharded_kv.ml: Array Failure_pattern Format Fun Hashtbl List Option Properties Pset Runner Topology Trace Workload

@@ -1,0 +1,1 @@
+examples/smr_strict.ml: Algorithm1 Failure_pattern Format List Properties Pset Runner Topology Trace Workload

@@ -1,0 +1,44 @@
+(* State-machine replication needs the strict variant (§6.1).
+
+   Linearizability requires that a command submitted after another was
+   delivered is ordered after it — the ↝ relation. Vanilla atomic
+   multicast does not promise this: on an acyclic pair of groups with a
+   slow intersection process, Algorithm 1 can deliver a later command
+   first. The strict variant (stable waits on (m,h) ∈ LOG_g or
+   1^{g∩h}) restores real-time order.
+
+   This example replays the exact schedule: g0 = {p0,p1,p2} and
+   g1 = {p2,p3,p4} share p2, which sleeps until t = 32; command c1 → g0
+   is delivered while p2 sleeps, then c0 → g1 is submitted.
+
+   Run with: dune exec examples/smr_strict.exe *)
+
+let scenario variant =
+  let topo = Topology.chain ~groups:2 in
+  let n = Topology.n topo in
+  let fp = Failure_pattern.never ~n in
+  (* message 0 → g1 at t=30 (after message 1 is delivered), message 1 → g0 at t=0 *)
+  let workload = Workload.make [ (3, 1, 30); (0, 0, 0) ] topo in
+  let scheduled t = if t < 32 then Pset.remove 2 (Pset.range n) else Pset.range n in
+  Runner.run ~variant ~seed:1 ~topo ~fp ~workload ~scheduled ()
+
+let report name outcome =
+  Format.printf "%s:@." name;
+  List.iter
+    (fun (p, m, t, _) -> Format.printf "  t=%-3d deliver m%d at p%d@." t m p)
+    (Trace.deliveries outcome.Runner.trace);
+  Format.printf "  ordering        %s@."
+    (match Properties.ordering outcome with Ok () -> "ok" | Error e -> e);
+  Format.printf "  strict ordering %s@.@."
+    (match Properties.strict_ordering outcome with
+    | Ok () -> "ok"
+    | Error e -> "VIOLATED — " ^ e)
+
+let () =
+  report "vanilla Algorithm 1 (global order only)" (scenario Algorithm1.Vanilla);
+  report "strict variant (μ ∧ 1^{g∩h})" (scenario Algorithm1.Strict);
+  Format.printf
+    "The vanilla run delivers the later command first at the shared replica:\n\
+     fine for plain atomic multicast, fatal for linearizable SMR. The strict\n\
+     variant holds the early command back until the shared log is stabilised\n\
+     in real-time order.@."

@@ -1,0 +1,1 @@
+lib/baselines/broadcast.ml: Algorithm1 Amsg Array Engine List Pset Runner Topology Trace Workload

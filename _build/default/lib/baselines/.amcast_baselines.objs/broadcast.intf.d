@@ -1,0 +1,1 @@
+lib/baselines/broadcast.mli: Failure_pattern Runner Topology Workload

@@ -1,0 +1,1 @@
+lib/baselines/partitioned.ml: Algorithm1 Amsg Array Engine List Runner Topology Trace Workload

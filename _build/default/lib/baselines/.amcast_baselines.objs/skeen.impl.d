@@ -1,0 +1,1 @@
+lib/baselines/skeen.ml: Algorithm1 Amsg Array Engine Hashtbl List Pset Runner Topology Trace Workload

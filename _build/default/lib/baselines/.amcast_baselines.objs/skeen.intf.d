@@ -1,0 +1,1 @@
+lib/baselines/skeen.mli: Failure_pattern Runner Topology Workload

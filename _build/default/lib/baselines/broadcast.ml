@@ -1,0 +1,79 @@
+type state = {
+  topo : Topology.t;
+  msgs : Amsg.t array;
+  req_at : int array;
+  sent : bool array;
+  (* Global broadcast order: message ids, oldest first. *)
+  mutable glog : int list;
+  mutable glog_len : int;
+  cursor : int array; (* per process: entries of glog already processed *)
+  mutable events : Trace.event list;
+  mutable seq : int;
+}
+
+let emit st ev =
+  st.events <- ev st.seq :: st.events;
+  st.seq <- st.seq + 1
+
+let step st ~pid:p ~time:t =
+  (* 1. Broadcast own pending messages. *)
+  let k = Array.length st.msgs in
+  let rec try_send m =
+    if m >= k then false
+    else
+      let msg = st.msgs.(m) in
+      if msg.Amsg.src = p && (not st.sent.(m)) && t >= st.req_at.(m) then begin
+        st.sent.(m) <- true;
+        st.glog <- st.glog @ [ m ];
+        st.glog_len <- st.glog_len + 1;
+        emit st (fun seq -> Trace.Invoke { m; p; time = t; seq });
+        emit st (fun seq -> Trace.Send { m; p; time = t; seq });
+        true
+      end
+      else try_send (m + 1)
+  in
+  if try_send 0 then true
+  else if st.cursor.(p) < st.glog_len then begin
+    (* 2. Process the next broadcast entry — a step taken whether or
+       not the message concerns us: the non-genuineness. *)
+    let m = List.nth st.glog st.cursor.(p) in
+    st.cursor.(p) <- st.cursor.(p) + 1;
+    if Pset.mem p (Topology.group st.topo st.msgs.(m).Amsg.dst) then
+      emit st (fun seq -> Trace.Deliver { m; p; time = t; seq });
+    true
+  end
+  else false
+
+let run ?(seed = 1) ?horizon ~topo ~fp ~workload () =
+  let reqs = Array.of_list workload in
+  let st =
+    {
+      topo;
+      msgs = Array.map (fun r -> r.Workload.msg) reqs;
+      req_at = Array.map (fun r -> r.Workload.at) reqs;
+      sent = Array.make (Array.length reqs) false;
+      glog = [];
+      glog_len = 0;
+      cursor = Array.make (Topology.n topo) 0;
+      events = [];
+      seq = 0;
+    }
+  in
+  let horizon =
+    match horizon with Some h -> h | None -> Runner.default_horizon workload fp
+  in
+  let max_at = List.fold_left (fun acc r -> max acc r.Workload.at) 0 workload in
+  let stats =
+    Engine.run ~fp ~horizon ~quiesce_after:(max_at + 5) ~seed ~step:(step st) ()
+  in
+  {
+    Runner.topo;
+    workload;
+    fp;
+    variant = Algorithm1.Vanilla;
+    trace = { Trace.events = List.rev st.events; n = Topology.n topo };
+    stats;
+    snapshots = [];
+    final_logs = [];
+    consensus_instances = 0;
+  }

@@ -1,0 +1,19 @@
+(** The non-genuine baseline: atomic multicast atop atomic broadcast
+    (§2.3's "naive" reduction, Table 1 row 1).
+
+    Every message is appended to a single global totally-ordered log —
+    the specification of atomic broadcast, solvable from Ω ∧ Σ over the
+    whole system — and {e every} process scans {e every} entry,
+    delivering the ones addressed to it. Correct for any failure
+    pattern, trivially totally ordered, but {e not} genuine: processes
+    take steps for messages they are not addressed (this is the
+    scaling defect measured by experiment B1). *)
+
+val run :
+  ?seed:int ->
+  ?horizon:int ->
+  topo:Topology.t ->
+  fp:Failure_pattern.t ->
+  workload:Workload.t ->
+  unit ->
+  Runner.outcome

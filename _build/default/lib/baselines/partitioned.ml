@@ -1,0 +1,83 @@
+type state = {
+  topo : Topology.t;
+  msgs : Amsg.t array;
+  req_at : int array;
+  sent : bool array;
+  glogs : int list array; (* per group, oldest first *)
+  cursor : int array array; (* cursor.(p).(g) *)
+  mutable events : Trace.event list;
+  mutable seq : int;
+}
+
+let emit st ev =
+  st.events <- ev st.seq :: st.events;
+  st.seq <- st.seq + 1
+
+let step st ~pid:p ~time:t =
+  let k = Array.length st.msgs in
+  let rec try_send m =
+    if m >= k then false
+    else
+      let msg = st.msgs.(m) in
+      if msg.Amsg.src = p && (not st.sent.(m)) && t >= st.req_at.(m) then begin
+        st.sent.(m) <- true;
+        st.glogs.(msg.Amsg.dst) <- st.glogs.(msg.Amsg.dst) @ [ m ];
+        emit st (fun seq -> Trace.Invoke { m; p; time = t; seq });
+        emit st (fun seq -> Trace.Send { m; p; time = t; seq });
+        true
+      end
+      else try_send (m + 1)
+  in
+  if try_send 0 then true
+  else
+    (* Deliver the next entry of one of our groups' logs. *)
+    let rec scan = function
+      | [] -> false
+      | g :: rest ->
+          let c = st.cursor.(p).(g) in
+          if c < List.length st.glogs.(g) then begin
+            let m = List.nth st.glogs.(g) c in
+            st.cursor.(p).(g) <- c + 1;
+            emit st (fun seq -> Trace.Deliver { m; p; time = t; seq });
+            true
+          end
+          else scan rest
+    in
+    scan (Topology.groups_of st.topo p)
+
+let run ?(seed = 1) ?horizon ~topo ~fp ~workload () =
+  if Topology.intersecting_pairs topo <> [] then
+    invalid_arg
+      "Partitioned.run: the decomposition baseline needs pairwise-disjoint groups";
+  let reqs = Array.of_list workload in
+  let n = Topology.n topo in
+  let st =
+    {
+      topo;
+      msgs = Array.map (fun r -> r.Workload.msg) reqs;
+      req_at = Array.map (fun r -> r.Workload.at) reqs;
+      sent = Array.make (Array.length reqs) false;
+      glogs = Array.make (Topology.num_groups topo) [];
+      cursor = Array.make_matrix n (Topology.num_groups topo) 0;
+      events = [];
+      seq = 0;
+    }
+  in
+  let horizon =
+    match horizon with Some h -> h | None -> Runner.default_horizon workload fp
+  in
+  let max_at = List.fold_left (fun acc r -> max acc r.Workload.at) 0 workload in
+  let stats =
+    Engine.run ~fp ~horizon ~quiesce_after:(max_at + 5) ~seed ~step:(step st) ()
+  in
+  {
+    Runner.topo;
+    workload;
+    fp;
+    variant = Algorithm1.Vanilla;
+    trace = { Trace.events = List.rev st.events; n };
+    stats;
+    snapshots = [];
+    final_logs = [];
+    consensus_instances = 0;
+  }

@@ -1,0 +1,23 @@
+(** The "disjoint decomposition" baseline (§7).
+
+    Almost all published genuine protocols [32, 17, 21, 10, 31, 13]
+    assume the destination groups decompose into pairwise-disjoint
+    partitions, each behaving as a logically correct entity. In the
+    simplest (and common) deployment the destination groups themselves
+    are pairwise disjoint: multicast then degenerates to an independent
+    total order per group, solvable with [Σ_g ∧ Ω_g] per group.
+
+    This module implements that regime: each group orders its messages
+    through its own consensus-backed log. It rejects topologies with
+    intersecting groups — precisely the limitation the paper's
+    Algorithm 1 removes. *)
+
+val run :
+  ?seed:int ->
+  ?horizon:int ->
+  topo:Topology.t ->
+  fp:Failure_pattern.t ->
+  workload:Workload.t ->
+  unit ->
+  Runner.outcome
+(** Raises [Invalid_argument] if two destination groups intersect. *)

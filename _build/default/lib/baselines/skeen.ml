@@ -1,0 +1,134 @@
+type mstate = {
+  mutable invoked : bool;
+  proposals : (int, int) Hashtbl.t; (* proposer -> timestamp *)
+  mutable final : int option;
+}
+
+type state = {
+  topo : Topology.t;
+  msgs : Amsg.t array;
+  req_at : int array;
+  clock : int array; (* Lamport clock per process *)
+  ms : mstate array;
+  delivered : bool array array; (* delivered.(p).(m) *)
+  mutable events : Trace.event list;
+  mutable seq : int;
+}
+
+let emit st ev =
+  st.events <- ev st.seq :: st.events;
+  st.seq <- st.seq + 1
+
+let dst st m = Topology.group st.topo st.msgs.(m).Amsg.dst
+
+(* Timestamp order: (ts, id) lexicographic — the classical tie-break. *)
+let ts_lt (ts, m) (ts', m') = ts < ts' || (ts = ts' && m < m')
+
+let relevant st p m = Pset.mem p (dst st m)
+
+(* Can p be sure no message will end below (ts, m)? Every other
+   undelivered message addressed to p must be provably above: final and
+   above, or p's own proposal already above (the final is a max, hence
+   no smaller than any proposal). *)
+let deliverable st p m ts =
+  let k = Array.length st.msgs in
+  let rec loop m' =
+    if m' >= k then true
+    else if m' = m || (not (relevant st p m')) || st.delivered.(p).(m')
+            || not st.ms.(m').invoked then loop (m' + 1)
+    else
+      let above =
+        match st.ms.(m').final with
+        | Some ts' -> ts_lt (ts, m) (ts', m')
+        | None -> (
+            match Hashtbl.find_opt st.ms.(m').proposals p with
+            | Some prop -> ts_lt (ts, m) (prop, m')
+            | None -> false)
+      in
+      above && loop (m' + 1)
+  in
+  loop 0
+
+let step st ~pid:p ~time:t =
+  let k = Array.length st.msgs in
+  let rec scan m =
+    if m >= k then false
+    else
+      let msg = st.msgs.(m) in
+      let s = st.ms.(m) in
+      if (not (relevant st p m)) then scan (m + 1)
+      (* invoke *)
+      else if msg.Amsg.src = p && (not s.invoked) && t >= st.req_at.(m) then begin
+        s.invoked <- true;
+        emit st (fun seq -> Trace.Invoke { m; p; time = t; seq });
+        emit st (fun seq -> Trace.Send { m; p; time = t; seq });
+        true
+      end
+      (* propose a timestamp *)
+      else if s.invoked && not (Hashtbl.mem s.proposals p) then begin
+        st.clock.(p) <- st.clock.(p) + 1;
+        Hashtbl.replace s.proposals p st.clock.(p);
+        true
+      end
+      (* finalize: needs every destination member's proposal *)
+      else if
+        s.invoked && s.final = None
+        && Pset.for_all (fun q -> Hashtbl.mem s.proposals q) (dst st m)
+      then begin
+        let ts = Hashtbl.fold (fun _ v acc -> max v acc) s.proposals 0 in
+        s.final <- Some ts;
+        (* every member advances its clock past the final timestamp *)
+        Pset.iter (fun q -> st.clock.(q) <- max st.clock.(q) ts) (dst st m);
+        true
+      end
+      (* deliver in timestamp order *)
+      else if
+        (not st.delivered.(p).(m))
+        && (match s.final with
+           | Some ts -> deliverable st p m ts
+           | None -> false)
+      then begin
+        st.delivered.(p).(m) <- true;
+        emit st (fun seq -> Trace.Deliver { m; p; time = t; seq });
+        true
+      end
+      else scan (m + 1)
+  in
+  scan 0
+
+let run ?(seed = 1) ?horizon ~topo ~fp ~workload () =
+  let reqs = Array.of_list workload in
+  let k = Array.length reqs in
+  let n = Topology.n topo in
+  let st =
+    {
+      topo;
+      msgs = Array.map (fun r -> r.Workload.msg) reqs;
+      req_at = Array.map (fun r -> r.Workload.at) reqs;
+      clock = Array.make n 0;
+      ms =
+        Array.init k (fun _ ->
+            { invoked = false; proposals = Hashtbl.create 8; final = None });
+      delivered = Array.make_matrix n k false;
+      events = [];
+      seq = 0;
+    }
+  in
+  let horizon =
+    match horizon with Some h -> h | None -> Runner.default_horizon workload fp
+  in
+  let max_at = List.fold_left (fun acc r -> max acc r.Workload.at) 0 workload in
+  let stats =
+    Engine.run ~fp ~horizon ~quiesce_after:(max_at + 5) ~seed ~step:(step st) ()
+  in
+  {
+    Runner.topo;
+    workload;
+    fp;
+    variant = Algorithm1.Vanilla;
+    trace = { Trace.events = List.rev st.events; n };
+    stats;
+    snapshots = [];
+    final_logs = [];
+    consensus_instances = 0;
+  }

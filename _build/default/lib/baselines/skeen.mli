@@ -1,0 +1,22 @@
+(** Skeen's timestamp-based genuine atomic multicast [5, 22]
+    (failure-free).
+
+    The classical algorithm the paper's solution generalises: every
+    destination proposes a logical timestamp, the final timestamp is
+    the maximum of all proposals, and messages are delivered in final
+    timestamp order once no earlier-timestamped message can appear.
+
+    Genuine, totally ordered — but {e blocking}: computing the final
+    timestamp waits for a proposal from every destination member, so a
+    single crash in a destination group halts delivery (the reason the
+    paper needs failure detectors at all; exercised by experiment
+    T1.2/T1.4 ablations). *)
+
+val run :
+  ?seed:int ->
+  ?horizon:int ->
+  topo:Topology.t ->
+  fp:Failure_pattern.t ->
+  workload:Workload.t ->
+  unit ->
+  Runner.outcome

@@ -1,0 +1,1 @@
+lib/checker/claims.ml: Algorithm1 Amsg Format Hashtbl List Properties Pset Result Runner Stdlib Topology Trace Workload

@@ -1,0 +1,1 @@
+lib/checker/properties.ml: Algorithm1 Amsg Array Engine Failure_pattern Format Hashtbl List Printf Pset Result Runner String Topology Trace Workload

@@ -1,0 +1,1 @@
+lib/checker/properties.mli: Runner

@@ -1,0 +1,61 @@
+(** The specification of atomic multicast (§2.2) and its variations
+    (§6, §7) as executable checks over run outcomes.
+
+    The delivery relation [m ↦ m'] holds when some process in
+    [dst(m) ∩ dst(m')] delivers [m] while not having delivered [m']
+    (§2.2); [m ↝ m'] holds when [m] is delivered in real time before
+    [m'] is multicast (§6.1). Real time is the global sequence order of
+    effects in the trace. *)
+
+type verdict = (unit, string) result
+
+val integrity : Runner.outcome -> verdict
+(** Each process delivers a message at most once, only if it is a
+    member of the destination group, and only after the message was
+    multicast. *)
+
+val termination : Runner.outcome -> verdict
+(** If a correct process multicasts [m], or any process delivers [m],
+    every correct member of [dst m] delivers [m] by the end of the
+    run. *)
+
+val ordering : Runner.outcome -> verdict
+(** The delivery relation [↦] is acyclic over the run's messages. *)
+
+val strict_ordering : Runner.outcome -> verdict
+(** [↦ ∪ ↝] is acyclic (§6.1). *)
+
+val pairwise_ordering : Runner.outcome -> verdict
+(** If a process delivers [m] then [m'], no process delivers [m']
+    without having delivered [m] first (§7). *)
+
+val minimality : Runner.outcome -> verdict
+(** Genuineness: a process takes steps only if some multicast message
+    is addressed to it (§2.3). *)
+
+val group_sequential : Runner.outcome -> verdict
+(** Any two messages sent to the same group are [≺]-related: the
+    process performing the later [A.multicast] had delivered the
+    earlier message (§4.1). *)
+
+val delivery_edges : Runner.outcome -> (int * int) list
+(** The edges of [↦]. *)
+
+val find_cycle : (int * int) list -> int list option
+(** A cycle in a relation given by edges, if any (vertices in cycle
+    order). *)
+
+val all : Runner.outcome -> (string * verdict) list
+(** The checks relevant to the outcome's variant: integrity,
+    termination, minimality, group-sequentiality, plus ordering
+    (vanilla), strict ordering (strict) or pairwise ordering
+    (pairwise). *)
+
+val check_all : Runner.outcome -> verdict
+(** [Error] carrying every failed check of {!all}, if any. *)
+
+val group_parallelism : Runner.outcome -> m:int -> verdict
+(** The §6.2 property for one message: [m] (invoked, or delivered
+    somewhere) is delivered at every correct member of [dst m]. Use on
+    an outcome produced with a scheduler restricted to
+    [Correct ∩ dst m] — a P-fair run — to check strong genuineness. *)

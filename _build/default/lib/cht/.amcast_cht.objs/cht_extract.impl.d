@@ -1,0 +1,1 @@
+lib/cht/cht_extract.ml: Array Failure_pattern Floodset Hashtbl List Pset Queue Topology

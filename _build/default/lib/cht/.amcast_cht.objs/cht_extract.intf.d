@@ -1,0 +1,1 @@
+lib/cht/cht_extract.mli: Failure_pattern Floodset Topology

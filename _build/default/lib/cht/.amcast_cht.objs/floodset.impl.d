@@ -1,0 +1,1 @@
+lib/cht/floodset.ml: Array Format Fun List Stdlib

@@ -1,0 +1,1 @@
+lib/cht/floodset.mli: Format

@@ -1,0 +1,186 @@
+type verdict =
+  | Univalent_critical of { index : int; leader : int }
+  | Fork of { leader : int }
+  | Hook of { leader : int }
+  | Decider of { leader : int }
+  | Fallback of { leader : int }
+
+let leader_of = function
+  | Univalent_critical { leader; _ }
+  | Fork { leader }
+  | Hook { leader }
+  | Decider { leader }
+  | Fallback { leader } ->
+      leader
+
+(* Memoised valency tags: the outcomes reachable from a configuration.
+   FloodSet runs are finite (each step consumes a message or advances a
+   round), so the exploration terminates; memoisation collapses the
+   tree into a DAG. *)
+let tags_memo sim =
+  let memo = Hashtbl.create 1024 in
+  let rec tags cfg =
+    match Hashtbl.find_opt memo cfg with
+    | Some v -> v
+    | None ->
+        (* Mark to cut (impossible) cycles conservatively. *)
+        Hashtbl.replace memo cfg [];
+        let v =
+          match Floodset.decided sim cfg with
+          | Some o -> [ o ]
+          | None ->
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun s -> tags (Floodset.apply sim cfg s))
+                   (Floodset.enabled sim cfg))
+        in
+        Hashtbl.replace memo cfg v;
+        v
+  in
+  tags
+
+let tags sim cfg = tags_memo sim cfg
+
+(* The message identity used to match steps across configurations (a
+   fork replays the same receive with a different sample; a hook
+   replays it after an intermediate step, where raw buffer indices may
+   have shifted). *)
+let step_key sim cfg (s : Floodset.step) =
+  (s.Floodset.proc, s.Floodset.msg <> None, Floodset.step_message sim cfg s)
+
+(* Search the (memoised) simulation graph rooted at [cfg] for a
+   decision gadget: a bivalent configuration with two branches of
+   opposite univalency related as a fork or a hook (Figure 5). *)
+let find_gadget sim tags_of root =
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Queue.push root queue;
+  let result = ref None in
+  let univalent cfg =
+    match tags_of cfg with [ o ] -> Some o | _ -> None
+  in
+  while !result = None && not (Queue.is_empty queue) do
+    let cfg = Queue.pop queue in
+    if not (Hashtbl.mem seen cfg) then begin
+      Hashtbl.replace seen cfg ();
+      if tags_of cfg <> [] && List.length (tags_of cfg) > 1 then begin
+        let steps = Floodset.enabled sim cfg in
+        let branches =
+          List.map (fun s -> (s, Floodset.apply sim cfg s)) steps
+        in
+        (* Fork: same process, same message, different samples. *)
+        List.iter
+          (fun (s1, c1) ->
+            List.iter
+              (fun (s2, c2) ->
+                if !result = None
+                   && s1.Floodset.proc = s2.Floodset.proc
+                   && s1.Floodset.msg = s2.Floodset.msg
+                   && s1.Floodset.sample <> s2.Floodset.sample
+                then
+                  match (univalent c1, univalent c2) with
+                  | Some a, Some b when a <> b ->
+                      result := Some (Fork { leader = s1.Floodset.proc })
+                  | _ -> ())
+              branches)
+            branches;
+        (* Hook: a univalent branch by q, and the opposite valency
+           reached by replaying q's step after an intermediate step by
+           q' — the deciding process (Fig. 5b). *)
+        if !result = None then
+          List.iter
+            (fun (s1, c1) ->
+              match univalent c1 with
+              | None -> ()
+              | Some a ->
+                  List.iter
+                    (fun (s', c') ->
+                      if !result = None && s' <> s1 then
+                        List.iter
+                          (fun s2 ->
+                            if
+                              !result = None
+                              && step_key sim c' s2 = step_key sim cfg s1
+                            then
+                              match univalent (Floodset.apply sim c' s2) with
+                              | Some b when b <> a ->
+                                  result :=
+                                    Some (Hook { leader = s'.Floodset.proc })
+                              | _ -> ())
+                          (Floodset.enabled sim c'))
+                    branches)
+            branches;
+        (* Degenerate gadget: our automaton fuses receive and round
+           advance into one step, so the hook of Fig. 5b can collapse
+           into two steps of the same process with opposite univalent
+           outcomes — that process singlehandedly fixes the valency and
+           is the deciding process. *)
+        if !result = None then
+          List.iter
+            (fun (s1, c1) ->
+              List.iter
+                (fun (s2, c2) ->
+                  if !result = None && s1 <> s2
+                     && s1.Floodset.proc = s2.Floodset.proc
+                  then
+                    match (univalent c1, univalent c2) with
+                    | Some a, Some b when a <> b ->
+                        result := Some (Decider { leader = s1.Floodset.proc })
+                    | _ -> ())
+                branches)
+            branches;
+        (* Keep searching deeper. *)
+        List.iter (fun (_, c) -> Queue.push c queue) branches
+      end
+    end
+  done;
+  !result
+
+let extract ?(rounds = 0) ~topo ~fp ~g ~h () =
+  let scope = Topology.inter topo g h in
+  if Pset.is_empty scope then invalid_arg "Cht_extract: empty intersection";
+  let members = Pset.to_list scope in
+  let k = List.length members in
+  if k > 5 then invalid_arg "Cht_extract: intersection too large to simulate";
+  let rounds = if rounds <= 0 then k else rounds in
+  (* Two monotone perfect-detector samples: at time 0 and "late". *)
+  let faulty = Failure_pattern.faulty fp in
+  let early = Array.of_list (List.map (fun _ -> false) members) in
+  let late =
+    Array.of_list (List.map (fun q -> Pset.mem q faulty) members)
+  in
+  let sim = Floodset.create ~procs:k ~rounds ~samples:[| early; late |] in
+  let tags_of = tags_memo sim in
+  let config i =
+    Floodset.initial sim
+      ~inputs:
+        (Array.init k (fun j -> if j < i then Floodset.H else Floodset.G))
+  in
+  let roots = List.init (k + 1) (fun i -> (i, config i)) in
+  (* Univalent-critical pair (Prop. 71): I_i g-valent, I_{i+1} h-valent;
+     the connecting process is the one whose input flips. *)
+  let rec critical = function
+    | (i, ci) :: ((_, cj) :: _ as rest) -> (
+        match (tags_of ci, tags_of cj) with
+        | [ Floodset.G ], [ Floodset.H ] ->
+            Some (Univalent_critical { index = i; leader = List.nth members i })
+        | _ -> critical rest)
+    | _ -> None
+  in
+  match critical roots with
+  | Some v -> v
+  | None -> (
+      (* Bivalent-critical root: locate a decision gadget (Prop. 72). *)
+      let bivalent =
+        List.find_opt (fun (_, c) -> List.length (tags_of c) > 1) roots
+      in
+      match bivalent with
+      | Some (_, root) -> (
+          match find_gadget sim tags_of root with
+          | Some (Fork { leader }) -> Fork { leader = List.nth members leader }
+          | Some (Hook { leader }) -> Hook { leader = List.nth members leader }
+          | Some (Decider { leader }) ->
+              Decider { leader = List.nth members leader }
+          | Some v -> v
+          | None -> Fallback { leader = List.hd members })
+      | None -> Fallback { leader = List.hd members })

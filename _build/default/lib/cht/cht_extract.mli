@@ -1,0 +1,52 @@
+(** Algorithm 5 of the paper (Appendix B): CHT-style extraction of
+    [Ω_{g∩h}] from a strongly genuine solution and its failure
+    detector.
+
+    The pipeline follows the paper's procedures:
+    - {e Sample}: a monotone sequence of detector samples is drawn from
+      a (realistic) perfect-detector history for the failure pattern;
+    - {e Simulate}: the simulation forest over the initial
+      configurations [I_0 .. I_v] (process [j] of [g∩h] multicasts to
+      [h] iff [j ≤ i]) is explored as a memoised graph of the
+      {!Floodset} automaton;
+    - {e Tag}: every configuration is tagged with the set of reachable
+      first-delivery outcomes (g-valent / h-valent / bivalent);
+    - {e Extract}: either two adjacent univalent-critical roots exist
+      and the process connecting them is the leader (Prop. 71 /
+      Figure 4), or some root is bivalent-critical and the deciding
+      process of a decision gadget — a fork or a hook (Figure 5) — is
+      returned (Prop. 72).
+
+    The extracted process is a correct member of [g ∩ h] whenever one
+    exists (Theorem 78). *)
+
+type verdict =
+  | Univalent_critical of { index : int; leader : int }
+      (** roots [I_index] and [I_{index+1}] are g- and h-valent. *)
+  | Fork of { leader : int }
+  | Hook of { leader : int }
+  | Decider of { leader : int }
+      (** degenerate hook: the simulated automaton fuses receive and
+          round advance, so the two opposite-valency branches can be
+          steps of one process — the decider. *)
+  | Fallback of { leader : int }
+      (** no critical index found (e.g. every simulated process
+          crashed): the smallest scope member. *)
+
+val leader_of : verdict -> int
+
+val tags :
+  Floodset.t -> Floodset.config -> Floodset.outcome list
+(** Reachable first-delivery outcomes of a configuration (memoised
+    exhaustive exploration; the FloodSet trees are finite). *)
+
+val extract :
+  ?rounds:int ->
+  topo:Topology.t ->
+  fp:Failure_pattern.t ->
+  g:Topology.gid ->
+  h:Topology.gid ->
+  unit ->
+  verdict
+(** Raises [Invalid_argument] if [g ∩ h = ∅] or the intersection is
+    too large to simulate exhaustively (more than 5 processes). *)

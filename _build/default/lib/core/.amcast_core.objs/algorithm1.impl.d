@@ -1,0 +1,1 @@
+lib/core/algorithm1.ml: Amsg Array Consensus_table Format Fun Hashtbl List Log Mu Pset Stdlib Topology Trace Workload

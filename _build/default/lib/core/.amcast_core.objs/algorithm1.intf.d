@@ -1,0 +1,1 @@
+lib/core/algorithm1.mli: Format Mu Topology Trace Workload

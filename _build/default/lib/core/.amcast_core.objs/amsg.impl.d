@@ -1,0 +1,1 @@
+lib/core/amsg.ml: Format Printf Pset Topology

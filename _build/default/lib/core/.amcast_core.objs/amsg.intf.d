@@ -1,0 +1,1 @@
+lib/core/amsg.mli: Format Topology

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Algorithm1 Amsg Engine Failure_pattern List Mu Pset Topology Trace Workload

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Algorithm1 Engine Failure_pattern Mu Pset Topology Trace Workload

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Amsg List Pset Rng Topology

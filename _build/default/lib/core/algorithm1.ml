@@ -1,0 +1,288 @@
+type variant = Vanilla | Strict | Pairwise
+
+type datum =
+  | Msg of int
+  | Pend of int * Topology.gid * int
+  | Stab of int * Topology.gid
+
+let pp_datum fmt = function
+  | Msg m -> Format.fprintf fmt "m%d" m
+  | Pend (m, h, i) -> Format.fprintf fmt "(m%d,g%d,%d)" m h i
+  | Stab (m, h) -> Format.fprintf fmt "(m%d,g%d)" m h
+
+type t = {
+  topo : Topology.t;
+  mu : Mu.t;
+  variant : variant;
+  msgs : Amsg.t array;
+  req_at : int array;
+  (* LOG_{g∩h}, keyed by the normalised pair; (g, g) is LOG_g. *)
+  logs : (Topology.gid * Topology.gid, datum Log.t) Hashtbl.t;
+  (* The shared lists L_g of the Prop. 1 reduction (append order,
+     newest first) and whether a message has been listed. *)
+  lists : int list ref array;
+  listed : bool array;
+  cons : (int * Topology.gid list, int) Consensus_table.t;
+  phase : Trace.phase array array; (* phase.(p).(m) *)
+  (* H(p, g) of line 20, cached: h_key.(p) maps g to the family key. *)
+  h_key : (Topology.gid * Topology.gid list) list array;
+  (* Messages addressed to a group the process belongs to. *)
+  relevant : int list array;
+  groups_of : Topology.gid list array;
+  mutable events : Trace.event list; (* newest first *)
+  mutable seq : int;
+}
+
+let pair_key g h = if g <= h then (g, h) else (h, g)
+
+let log st g h =
+  let key = pair_key g h in
+  match Hashtbl.find_opt st.logs key with
+  | Some l -> l
+  | None ->
+      let l = Log.create ~compare:Stdlib.compare in
+      Hashtbl.replace st.logs key l;
+      l
+
+let create ?(variant = Vanilla) ~topo ~mu ~workload () =
+  let reqs = Array.of_list workload in
+  let k = Array.length reqs in
+  Array.iteri
+    (fun i { Workload.msg; _ } ->
+      if msg.Amsg.id <> i then
+        invalid_arg "Algorithm1.create: message ids must be 0 .. K-1")
+    reqs;
+  let n = Topology.n topo in
+  let msgs = Array.map (fun r -> r.Workload.msg) reqs in
+  let families = mu.Mu.families in
+  let h_key =
+    Array.init n (fun p ->
+        List.map
+          (fun g ->
+            let key =
+              match variant with
+              | Pairwise -> []
+              | Vanilla | Strict -> Topology.h_set topo families p g
+            in
+            (g, key))
+          (Topology.groups_of topo p))
+  in
+  let relevant =
+    Array.init n (fun p ->
+        List.filter
+          (fun m -> Pset.mem p (Topology.group topo msgs.(m).Amsg.dst))
+          (List.init k Fun.id))
+  in
+  {
+    topo;
+    mu;
+    variant;
+    msgs;
+    req_at = Array.map (fun r -> r.Workload.at) reqs;
+    logs = Hashtbl.create 16;
+    lists = Array.init (Topology.num_groups topo) (fun _ -> ref []);
+    listed = Array.make k false;
+    cons = Consensus_table.create ();
+    phase = Array.make_matrix n k Trace.Start;
+    h_key;
+    relevant;
+    groups_of = Array.init n (Topology.groups_of topo);
+    events = [];
+    seq = 0;
+  }
+
+let emit st ev =
+  st.events <- ev st.seq :: st.events;
+  st.seq <- st.seq + 1
+
+let set_phase st p m ph time =
+  st.phase.(p).(m) <- ph;
+  match ph with
+  | Trace.Delivered -> emit st (fun seq -> Trace.Deliver { m; p; time; seq })
+  | ph -> emit st (fun seq -> Trace.Phase_change { m; p; phase = ph; time; seq })
+
+let rank st p m = Trace.phase_rank st.phase.(p).(m)
+
+(* Messages (Msg entries) strictly before [m] in the given log. *)
+let msg_predecessors st g h m =
+  let l = log st g h in
+  if not (Log.mem l (Msg m)) then []
+  else List.filter_map (function Msg m' -> Some m' | _ -> None) (Log.before l (Msg m))
+
+(* γ(g) as seen at (p, t), per variant. *)
+let gamma_groups st p t g =
+  match st.variant with
+  | Pairwise -> []
+  | Vanilla | Strict -> st.mu.Mu.gamma_groups p t g
+
+(* ------------------------------------------------------------------ *)
+(* Actions. Each returns true iff it executed.                         *)
+(* ------------------------------------------------------------------ *)
+
+(* multicast(m), lines 5–7, sequenced through L_g (Prop. 1): the source
+   first publishes m in the shared list. *)
+let try_list st p t m =
+  let msg = st.msgs.(m) in
+  if msg.Amsg.src = p && t >= st.req_at.(m) && not st.listed.(m) then begin
+    let l = st.lists.(msg.Amsg.dst) in
+    l := m :: !l;
+    st.listed.(m) <- true;
+    emit st (fun seq -> Trace.Invoke { m; p; time = t; seq });
+    true
+  end
+  else false
+
+(* A.multicast(m): append m to LOG_g once every message listed before m
+   in L_g has been delivered locally (helping included — any member of
+   g may perform the append, preserving the ≺ invariant because the
+   appender has delivered every predecessor). *)
+let try_send st p t m =
+  let msg = st.msgs.(m) in
+  let g = msg.Amsg.dst in
+  let lg = log st g g in
+  if (not st.listed.(m)) || Log.mem lg (Msg m) then false
+  else
+    let older =
+      (* messages listed before m in L_g *)
+      let rec after_m acc = function
+        | [] -> acc
+        | x :: rest -> if x = m then rest else after_m acc rest
+      in
+      after_m [] !(st.lists.(g))
+    in
+    if List.for_all (fun m' -> st.phase.(p).(m') = Trace.Delivered) older then begin
+      ignore (Log.append lg (Msg m));
+      emit st (fun seq -> Trace.Send { m; p; time = t; seq });
+      true
+    end
+    else false
+
+(* pending(m), lines 8–15. *)
+let try_pending st p t m =
+  let g = st.msgs.(m).Amsg.dst in
+  let lg = log st g g in
+  st.phase.(p).(m) = Trace.Start
+  && Log.mem lg (Msg m)
+  && List.for_all
+       (fun m' -> rank st p m' >= Trace.phase_rank Trace.Commit)
+       (msg_predecessors st g g m)
+  && begin
+       List.iter
+         (fun h ->
+           let i = Log.append (log st g h) (Msg m) in
+           ignore (Log.append lg (Pend (m, h, i))))
+         st.groups_of.(p);
+       set_phase st p m Trace.Pending t;
+       true
+     end
+
+(* commit(m), lines 16–24. *)
+let try_commit st p t m =
+  let g = st.msgs.(m).Amsg.dst in
+  let lg = log st g g in
+  st.phase.(p).(m) = Trace.Pending
+  && List.for_all
+       (fun h -> List.exists (fun d -> match d with Pend (m', h', _) -> m' = m && h' = h | _ -> false) (Log.entries lg))
+       (gamma_groups st p t g)
+  && begin
+       let k =
+         List.fold_left
+           (fun acc d ->
+             match d with Pend (m', _, i) when m' = m -> max acc i | _ -> acc)
+           0 (Log.entries lg)
+       in
+       let fam_key = List.assoc g st.h_key.(p) in
+       let k = Consensus_table.propose st.cons (m, fam_key) k in
+       List.iter
+         (fun h -> Log.bump_and_lock (log st g h) (Msg m) k)
+         st.groups_of.(p);
+       set_phase st p m Trace.Commit t;
+       true
+     end
+
+(* stabilize(m, h), lines 25–29. *)
+let try_stabilize st p t m h =
+  let g = st.msgs.(m).Amsg.dst in
+  let lg = log st g g in
+  ignore t;
+  st.phase.(p).(m) = Trace.Commit
+  && (not (Log.mem lg (Stab (m, h))))
+  && List.for_all
+       (fun m' -> rank st p m' >= Trace.phase_rank Trace.Stable)
+       (msg_predecessors st g h m)
+  && begin
+       ignore (Log.append lg (Stab (m, h)));
+       true
+     end
+
+(* stable(m), lines 30–33 (variant-dependent precondition, §6.1). *)
+let try_stable st p t m =
+  let g = st.msgs.(m).Amsg.dst in
+  let lg = log st g g in
+  let has_stab h = Log.mem lg (Stab (m, h)) in
+  st.phase.(p).(m) = Trace.Commit
+  && (match st.variant with
+     | Vanilla -> List.for_all has_stab (gamma_groups st p t g)
+     | Pairwise -> true
+     | Strict ->
+         List.for_all
+           (fun h ->
+             h = g || not (Topology.intersecting st.topo g h)
+             || has_stab h
+             || st.mu.Mu.indicator g h p t = Some true)
+           (Topology.gids st.topo))
+  && begin
+       set_phase st p m Trace.Stable t;
+       true
+     end
+
+(* deliver(m), lines 34–37. *)
+let try_deliver st p t m =
+  let g = st.msgs.(m).Amsg.dst in
+  st.phase.(p).(m) = Trace.Stable
+  && List.for_all
+       (fun h ->
+         List.for_all
+           (fun m' -> st.phase.(p).(m') = Trace.Delivered)
+           (msg_predecessors st g h m))
+       st.groups_of.(p)
+  && begin
+       set_phase st p m Trace.Delivered t;
+       true
+     end
+
+let step st ~pid:p ~time:t =
+  let try_each f l = List.exists f l in
+  let rel = st.relevant.(p) in
+  try_each (try_deliver st p t) rel
+  || try_each (try_stable st p t) rel
+  || try_each
+       (fun m ->
+         let g = st.msgs.(m).Amsg.dst in
+         st.phase.(p).(m) = Trace.Commit
+         && try_each
+              (fun h -> Pset.mem p (Topology.inter st.topo g h) && try_stabilize st p t m h)
+              st.groups_of.(p))
+       rel
+  || try_each (try_commit st p t) rel
+  || try_each (try_pending st p t) rel
+  || try_each (try_send st p t) rel
+  || try_each (try_list st p t) rel
+
+let trace st = { Trace.events = List.rev st.events; n = Topology.n st.topo }
+let phase st ~pid ~m = st.phase.(pid).(m)
+
+let log_keys st = Hashtbl.fold (fun k _ acc -> k :: acc) st.logs [] |> List.sort compare
+
+let log_snapshot st key =
+  match Hashtbl.find_opt st.logs key with
+  | None -> []
+  | Some l ->
+      List.map (fun d -> (d, Log.pos l d, Log.locked l d)) (Log.entries l)
+
+let consensus_instances st = Consensus_table.instances st.cons
+
+let release st ~m ~time =
+  if st.req_at.(m) > time then st.req_at.(m) <- time
+
+let delivered st ~pid ~m = st.phase.(pid).(m) = Trace.Delivered

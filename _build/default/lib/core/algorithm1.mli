@@ -1,0 +1,75 @@
+(** Algorithm 1 of the paper: genuine (group-sequential) atomic
+    multicast from the candidate failure detector μ, together with the
+    reduction of Proposition 1 that turns it into vanilla atomic
+    multicast, and the variations of §6 and §7.
+
+    The protocol is the paper's pseudo-code, action for action:
+    - [multicast]: the source appends the message to [LOG_g] (line 7),
+      sequenced through the shared per-group list of the Prop. 1
+      reduction (with helping);
+    - [pending] (lines 8–15): record the message's position in every
+      intersection log;
+    - [commit] (lines 16–24): agree through [CONS_{m,f}] on the highest
+      position and bump-and-lock the message there;
+    - [stabilize] (lines 25–29) and [stable] (lines 30–33): wait until
+      the message's predecessors cannot change;
+    - [deliver] (lines 34–37): deliver in log order.
+
+    Shared objects are the linearizable specification objects of
+    [Amcast_objects]; every effect runs atomically under the engine. *)
+
+type variant =
+  | Vanilla  (** Algorithm 1 as published (global total order). *)
+  | Strict
+      (** §6.1: the [stable] precondition waits, for every intersecting
+          group [h], for the tuple [(m, h)] or for [1^{g∩h}] = true. *)
+  | Pairwise
+      (** §7: the γ component is ignored ([γ(g) = ∅], consensus keyed
+          per message only) — computably the [F = ∅] regime; only
+          pairwise ordering is guaranteed. *)
+
+type datum =
+  | Msg of int  (** a message, by id *)
+  | Pend of int * Topology.gid * int  (** the tuple [(m, h, i)] of line 14 *)
+  | Stab of int * Topology.gid  (** the tuple [(m, h)] of line 29 *)
+
+type t
+
+val create :
+  ?variant:variant ->
+  topo:Topology.t ->
+  mu:Mu.t ->
+  workload:Workload.t ->
+  unit ->
+  t
+(** Workload message ids must be [0 .. K-1]. *)
+
+val step : t -> pid:int -> time:int -> bool
+(** Execute at most one enabled action of process [pid]; returns
+    whether one was executed. Feed this to [Engine.run]. *)
+
+val trace : t -> Trace.t
+(** Events recorded so far, in execution order. *)
+
+val phase : t -> pid:int -> m:int -> Trace.phase
+
+val log_keys : t -> (Topology.gid * Topology.gid) list
+(** The logs of the run: normalised pairs [(g, h)], [g ≤ h] (with
+    [(g, g)] standing for [LOG_g]). *)
+
+val log_snapshot : t -> (Topology.gid * Topology.gid) -> (datum * int * bool) list
+(** Entries of a log with position and lock status, in log order. *)
+
+val consensus_instances : t -> int
+(** Number of [CONS_{m,f}] instances actually decided. *)
+
+val pp_datum : Format.formatter -> datum -> unit
+
+val release : t -> m:int -> time:int -> unit
+(** Allow the source of message [m] to invoke [multicast m] from [time]
+    on. Used by the necessity constructions (Algorithms 2–4), whose
+    probe messages are multicast in reaction to deliveries; such
+    messages are created with invocation time {!Workload.never} and
+    released here. No effect if the message was already released. *)
+
+val delivered : t -> pid:int -> m:int -> bool

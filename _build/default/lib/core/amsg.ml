@@ -1,0 +1,10 @@
+type t = { id : int; src : int; dst : Topology.gid; payload : string }
+
+let make ~id ~src ~dst ?(payload = "") topo =
+  if not (Pset.mem src (Topology.group topo dst)) then
+    invalid_arg
+      (Printf.sprintf
+         "Amsg.make: closed dissemination requires src p%d in group g%d" src dst);
+  { id; src; dst; payload }
+
+let pp fmt m = Format.fprintf fmt "m%d(p%d→g%d)" m.id m.src m.dst

@@ -1,0 +1,17 @@
+(** Multicast messages (§2.2).
+
+    Messages carry a unique identifier, a sender, a destination group
+    (an index into the topology) and an opaque payload. The closed
+    dissemination model requires [src ∈ dst]. *)
+
+type t = {
+  id : int;  (** unique across the run; also the a-priori total order *)
+  src : int;  (** sending process; must belong to the destination group *)
+  dst : Topology.gid;  (** destination group *)
+  payload : string;
+}
+
+val make : id:int -> src:int -> dst:Topology.gid -> ?payload:string -> Topology.t -> t
+(** Raises [Invalid_argument] unless [src ∈ dst] (closed model). *)
+
+val pp : Format.formatter -> t -> unit

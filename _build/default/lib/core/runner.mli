@@ -1,0 +1,47 @@
+(** One-call execution of Algorithm 1 over the simulation engine.
+
+    This is the top of the stack: build the detector histories for a
+    failure pattern, instantiate the protocol, drive it to quiescence,
+    and return everything the property checkers need. *)
+
+type snapshot =
+  ((Topology.gid * Topology.gid) * (Algorithm1.datum * int * bool) list) list
+(** State of every log: entries with (position, locked). *)
+
+type outcome = {
+  topo : Topology.t;
+  workload : Workload.t;
+  fp : Failure_pattern.t;
+  variant : Algorithm1.variant;
+  trace : Trace.t;
+  stats : Engine.stats;
+  snapshots : (int * snapshot) list;  (** per tick, oldest first (if requested) *)
+  final_logs : snapshot;
+  consensus_instances : int;
+}
+
+val default_horizon : Workload.t -> Failure_pattern.t -> int
+(** A horizon comfortably past every invocation, crash and detector
+    delay for the workload size. *)
+
+val run :
+  ?variant:Algorithm1.variant ->
+  ?seed:int ->
+  ?horizon:int ->
+  ?mu:Mu.t ->
+  ?scheduled:(int -> Pset.t) ->
+  ?record_snapshots:bool ->
+  topo:Topology.t ->
+  fp:Failure_pattern.t ->
+  workload:Workload.t ->
+  unit ->
+  outcome
+(** [mu] defaults to [Mu.make ~seed topo fp] (valid histories of every
+    component); pass an ablated bundle to run the weakened-detector
+    experiments. [scheduled] restricts which processes may take steps
+    at each tick (P-fair runs of §6.2). *)
+
+val deliveries_complete : outcome -> bool
+(** Every message invoked by a correct source is delivered at every
+    correct member of its destination group (the termination check most
+    experiments want). *)

@@ -1,0 +1,76 @@
+type phase = Start | Pending | Commit | Stable | Delivered
+
+let phase_rank = function
+  | Start -> 0
+  | Pending -> 1
+  | Commit -> 2
+  | Stable -> 3
+  | Delivered -> 4
+
+let pp_phase fmt ph =
+  Format.pp_print_string fmt
+    (match ph with
+    | Start -> "start"
+    | Pending -> "pending"
+    | Commit -> "commit"
+    | Stable -> "stable"
+    | Delivered -> "deliver")
+
+type event =
+  | Invoke of { m : int; p : int; time : int; seq : int }
+  | Send of { m : int; p : int; time : int; seq : int }
+  | Phase_change of { m : int; p : int; phase : phase; time : int; seq : int }
+  | Deliver of { m : int; p : int; time : int; seq : int }
+
+type t = { events : event list; n : int }
+
+let pp_event fmt = function
+  | Invoke { m; p; time; _ } -> Format.fprintf fmt "t%d invoke(m%d)@p%d" time m p
+  | Send { m; p; time; _ } -> Format.fprintf fmt "t%d send(m%d)@p%d" time m p
+  | Phase_change { m; p; phase; time; _ } ->
+      Format.fprintf fmt "t%d m%d→%a@p%d" time m pp_phase phase p
+  | Deliver { m; p; time; _ } -> Format.fprintf fmt "t%d deliver(m%d)@p%d" time m p
+
+let deliveries t =
+  List.filter_map
+    (function Deliver { m; p; time; seq } -> Some (p, m, time, seq) | _ -> None)
+    t.events
+
+let delivery_order t p =
+  List.filter_map
+    (function Deliver d when d.p = p -> Some d.m | _ -> None)
+    t.events
+
+let delivered_at t ~p ~m =
+  List.exists (function Deliver d -> d.p = p && d.m = m | _ -> false) t.events
+
+let delivery_seq t ~p ~m =
+  List.find_map
+    (function Deliver d when d.p = p && d.m = m -> Some d.seq | _ -> None)
+    t.events
+
+let first_delivery_seq t ~m =
+  List.find_map
+    (function Deliver d when d.m = m -> Some d.seq | _ -> None)
+    t.events
+
+let invoke_seq t ~m =
+  List.find_map
+    (function Invoke i when i.m = m -> Some i.seq | _ -> None)
+    t.events
+
+let send_seq t ~m =
+  List.find_map
+    (function Send s when s.m = m -> Some s.seq | _ -> None)
+    t.events
+
+let invoked t =
+  List.filter_map (function Invoke i -> Some i.m | _ -> None) t.events
+
+let phase_history t ~p ~m =
+  List.filter_map
+    (function
+      | Phase_change c when c.p = p && c.m = m -> Some c.phase
+      | Deliver d when d.p = p && d.m = m -> Some Delivered
+      | _ -> None)
+    t.events

@@ -1,0 +1,1 @@
+lib/emulation/gamma_extract.ml: Algorithm1 Array Engine Failure_pattern Hashtbl List Mu Pset Topology Workload

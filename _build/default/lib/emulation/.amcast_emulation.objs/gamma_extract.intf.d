@@ -1,0 +1,1 @@
+lib/emulation/gamma_extract.mli: Failure_pattern Pset Topology

@@ -1,0 +1,1 @@
+lib/emulation/indicator_extract.ml: Algorithm1 Array Engine Failure_pattern Fun List Mu Pset Topology Workload

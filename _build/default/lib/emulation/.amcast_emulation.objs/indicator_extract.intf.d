@@ -1,0 +1,1 @@
+lib/emulation/indicator_extract.mli: Failure_pattern Topology

@@ -1,0 +1,1 @@
+lib/emulation/sigma_extract.ml: Algorithm1 Array Engine Failure_pattern Fun List Mu Pset Topology Workload

@@ -1,0 +1,1 @@
+lib/emulation/sigma_extract.mli: Failure_pattern Pset Topology

@@ -1,0 +1,49 @@
+(** The experiment harness: one entry per table/figure of the paper
+    (see DESIGN.md's per-experiment index). Every function returns the
+    report it prints, so the CLI, the bench harness and the tests share
+    one implementation. *)
+
+val table1 : unit -> string
+(** Table 1 — the solvability matrix: for each row, run the matching
+    algorithm/detector pair and report which properties hold, including
+    the violation witnesses when a detector component is ablated. *)
+
+val figure1 : unit -> string
+(** Figure 1 — the running example: groups, intersection graph, cyclic
+    families, their closed paths, faultiness when p2 crashes, and the
+    stabilised γ output. *)
+
+val figure2 : unit -> string
+(** Figure 2 / Lemma 30 — H(p,g) agreement inside a cyclic family,
+    checked over the canned and random topologies. *)
+
+val figure3 : unit -> string
+(** Figure 3 / Theorem 50 — the γ-emulation scenarios: completeness
+    (probe chains complete once the family is faulty) and accuracy
+    (chains block while it is correct). *)
+
+val figure45 : unit -> string
+(** Figures 4 and 5 / Appendix B — critical indices and decision
+    gadgets of the Ω_{g∩h} extraction across crash scenarios. *)
+
+val table2 : unit -> string
+(** Table 2 — the fourteen base invariants checked over instrumented
+    runs (snapshots on). *)
+
+val scaling : unit -> string
+(** B1 — genuine vs non-genuine: steps per process as the number of
+    disjoint groups grows ([33, 37]). *)
+
+val convoy : unit -> string
+(** B2 — the convoy effect: delivery latency versus the length of a
+    chain of intersecting groups ([1, 17], §6.2). *)
+
+val prop47 : unit -> string
+(** B3 — the fast log: message/step counts on and off the fast path. *)
+
+val necessity : unit -> string
+(** §5 — the three extraction algorithms validated against the
+    detector axioms. *)
+
+val all : unit -> string
+(** Every section, in DESIGN.md order. *)

@@ -1,0 +1,1 @@
+lib/fd/axioms.ml: Failure_pattern Format Fun List Pset Result Topology

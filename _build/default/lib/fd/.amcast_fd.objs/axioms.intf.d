@@ -1,0 +1,1 @@
+lib/fd/axioms.mli: Failure_pattern Pset Topology

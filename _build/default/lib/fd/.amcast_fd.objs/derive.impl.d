@@ -1,0 +1,1 @@
+lib/fd/derive.ml: Hashtbl List Mu Perfect Pset Topology

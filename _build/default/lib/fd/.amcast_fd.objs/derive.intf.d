@@ -1,0 +1,1 @@
+lib/fd/derive.mli: Failure_pattern Mu Perfect Topology

@@ -1,0 +1,1 @@
+lib/fd/failure_pattern.ml: Array Format List Pset Rng Topology

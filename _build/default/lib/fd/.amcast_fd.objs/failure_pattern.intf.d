@@ -1,0 +1,1 @@
+lib/fd/failure_pattern.mli: Format Pset Rng Topology

@@ -1,0 +1,1 @@
+lib/fd/gamma.ml: Array Failure_pattern Hashtbl List Topology

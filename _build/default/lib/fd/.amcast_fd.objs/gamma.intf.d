@@ -1,0 +1,1 @@
+lib/fd/gamma.mli: Failure_pattern Topology

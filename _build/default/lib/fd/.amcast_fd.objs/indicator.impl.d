@@ -1,0 +1,1 @@
+lib/fd/indicator.ml: Failure_pattern Hashtbl Pset

@@ -1,0 +1,1 @@
+lib/fd/indicator.mli: Failure_pattern Pset

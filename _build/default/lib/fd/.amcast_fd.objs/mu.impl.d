@@ -1,0 +1,1 @@
+lib/fd/mu.ml: Failure_pattern Gamma Hashtbl Indicator Omega Pset Sigma Topology

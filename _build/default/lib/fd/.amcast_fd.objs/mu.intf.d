@@ -1,0 +1,1 @@
+lib/fd/mu.mli: Failure_pattern Pset Topology

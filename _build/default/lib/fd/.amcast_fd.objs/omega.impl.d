@@ -1,0 +1,1 @@
+lib/fd/omega.ml: Array Failure_pattern Hashtbl Pset

@@ -1,0 +1,1 @@
+lib/fd/perfect.ml: Failure_pattern Hashtbl Pset

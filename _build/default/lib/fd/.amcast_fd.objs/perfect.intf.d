@@ -1,0 +1,1 @@
+lib/fd/perfect.mli: Failure_pattern Pset

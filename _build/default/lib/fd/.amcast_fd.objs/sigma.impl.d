@@ -1,0 +1,1 @@
+lib/fd/sigma.ml: Failure_pattern Pset

@@ -1,0 +1,180 @@
+type 'a check = ('a, string) result
+
+let ( let* ) = Result.bind
+
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_all_pt ~n ~horizon f =
+  let rec loop p t =
+    if p >= n then Ok ()
+    else if t > horizon then loop (p + 1) 0
+    else
+      let* () = f p t in
+      loop p (t + 1)
+  in
+  loop 0 0
+
+let sigma ~scope ~horizon fp query =
+  let n = Failure_pattern.n fp in
+  (* Range validity. *)
+  let* () =
+    check_all_pt ~n ~horizon (fun p t ->
+        match query p t with
+        | None ->
+            if Pset.mem p scope then fail "Σ: ⊥ inside the scope at p%d,t%d" p t
+            else Ok ()
+        | Some q ->
+            if not (Pset.mem p scope) then
+              fail "Σ: non-⊥ outside the scope at p%d,t%d" p t
+            else if Pset.is_empty q then fail "Σ: empty quorum at p%d,t%d" p t
+            else if not (Pset.subset q scope) then
+              fail "Σ: quorum outside scope at p%d,t%d" p t
+            else Ok ())
+  in
+  (* Intersection: all pairs of sampled quorums intersect. *)
+  let quorums =
+    Pset.fold
+      (fun p acc ->
+        List.init (horizon + 1) (fun t -> query p t)
+        |> List.filter_map Fun.id
+        |> fun qs -> qs @ acc)
+      scope []
+  in
+  let rec pairs = function
+    | [] -> Ok ()
+    | q :: rest ->
+        if List.for_all (fun q' -> Pset.intersects q q') rest then pairs rest
+        else fail "Σ: two disjoint quorums sampled"
+  in
+  let* () = pairs quorums in
+  (* Liveness: the restricted pattern is F∩scope, whose correct set is
+     Correct(F) ∩ scope. At the horizon the quorum of a correct member
+     must contain only correct processes. *)
+  let correct_scope = Pset.inter scope (Failure_pattern.correct fp) in
+  Pset.fold
+    (fun p acc ->
+      let* () = acc in
+      match query p horizon with
+      | None -> fail "Σ: ⊥ at correct p%d" p
+      | Some q ->
+          if Pset.subset q correct_scope then Ok ()
+          else fail "Σ: tail quorum of p%d contains a faulty process" p)
+    correct_scope (Ok ())
+
+let omega ~scope ~horizon ~tail fp query =
+  let correct_scope = Pset.inter scope (Failure_pattern.correct fp) in
+  if Pset.is_empty correct_scope then Ok () (* leadership vacuous *)
+  else
+    let leaders =
+      Pset.fold
+        (fun p acc ->
+          List.init tail (fun i -> query p (horizon - i)) @ acc)
+        correct_scope []
+    in
+    match leaders with
+    | [] -> Ok ()
+    | first :: rest ->
+        if List.exists (fun l -> l <> first) rest then
+          fail "Ω: leaders disagree over the tail"
+        else (
+          match first with
+          | None -> fail "Ω: ⊥ at a correct scope member"
+          | Some l ->
+              if Pset.mem l correct_scope then Ok ()
+              else fail "Ω: eventual leader p%d is not correct" l)
+
+let gamma topo ~families ~horizon ~tail fp query =
+  let n = Topology.n topo in
+  (* Accuracy. *)
+  let* () =
+    check_all_pt ~n ~horizon (fun p t ->
+        let fp_families = Topology.families_of_process topo families p in
+        let out = query p t in
+        let crashed = Failure_pattern.crashed_at fp t in
+        List.fold_left
+          (fun acc fam ->
+            let* () = acc in
+            if List.mem fam out then Ok ()
+            else if Topology.family_faulty topo fam ~crashed then Ok ()
+            else
+              fail "γ: at p%d,t%d family %a excluded while correct" p t
+                Topology.pp_family fam)
+          (Ok ()) fp_families)
+  in
+  (* Completeness over the tail. *)
+  let correct = Failure_pattern.correct fp in
+  let crashed_end = Failure_pattern.crashed_at fp horizon in
+  Pset.fold
+    (fun p acc ->
+      let* () = acc in
+      let fp_families = Topology.families_of_process topo families p in
+      List.fold_left
+        (fun acc fam ->
+          let* () = acc in
+          if not (Topology.family_faulty topo fam ~crashed:crashed_end) then Ok ()
+          else
+            let excluded =
+              List.for_all
+                (fun i -> not (List.mem fam (query p (horizon - i))))
+                (List.init tail Fun.id)
+            in
+            if excluded then Ok ()
+            else
+              fail "γ: faulty family %a still output at correct p%d"
+                Topology.pp_family fam p)
+        (Ok ()) fp_families)
+    correct (Ok ())
+
+let indicator ~scope ~target ~horizon ~tail fp query =
+  let n = Failure_pattern.n fp in
+  (* Accuracy + range. *)
+  let* () =
+    check_all_pt ~n ~horizon (fun p t ->
+        match query p t with
+        | None ->
+            if Pset.mem p scope then fail "1^P: ⊥ inside scope at p%d" p else Ok ()
+        | Some b ->
+            if not (Pset.mem p scope) then fail "1^P: output outside scope at p%d" p
+            else if b && not (Pset.subset target (Failure_pattern.crashed_at fp t))
+            then fail "1^P: true at p%d,t%d while target alive" p t
+            else Ok ())
+  in
+  (* Completeness. *)
+  if not (Pset.subset target (Failure_pattern.crashed_at fp horizon)) then Ok ()
+  else
+    let correct_scope = Pset.inter scope (Failure_pattern.correct fp) in
+    Pset.fold
+      (fun p acc ->
+        let* () = acc in
+        let all_true =
+          List.for_all
+            (fun i -> query p (horizon - i) = Some true)
+            (List.init tail Fun.id)
+        in
+        if all_true then Ok ()
+        else fail "1^P: target crashed but p%d does not read true" p)
+      correct_scope (Ok ())
+
+let perfect ~horizon ~tail fp query =
+  let n = Failure_pattern.n fp in
+  (* Strong accuracy. *)
+  let* () =
+    check_all_pt ~n ~horizon (fun p t ->
+        let suspected = query p t in
+        if Pset.subset suspected (Failure_pattern.crashed_at fp t) then Ok ()
+        else fail "P: p%d suspects an alive process at t%d" p t)
+  in
+  (* Strong completeness over the tail. *)
+  let faulty = Failure_pattern.faulty fp in
+  let correct = Failure_pattern.correct fp in
+  Pset.fold
+    (fun p acc ->
+      let* () = acc in
+      let ok =
+        List.for_all
+          (fun i -> Pset.subset faulty (query p (horizon - i)))
+          (List.init tail Fun.id)
+      in
+      if ok then Ok ()
+      else fail "P: p%d misses a crashed process in the tail" p)
+    correct (Ok ())

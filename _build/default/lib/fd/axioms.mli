@@ -1,0 +1,56 @@
+(** Executable checkers for the failure-detector axioms of §3 and §6.1.
+
+    Each checker samples a detector history over a finite horizon and
+    verifies the corresponding property; the eventual clauses are read
+    as "holds over the tail of the horizon", which is sound provided
+    all stabilisation/detection delays are far smaller than the
+    horizon. Checkers return [Ok ()] or [Error reason]. *)
+
+type 'a check = ('a, string) result
+
+val sigma :
+  scope:Pset.t ->
+  horizon:int ->
+  Failure_pattern.t ->
+  (int -> int -> Pset.t option) ->
+  unit check
+(** Intersection (over all sampled pairs) + liveness (tail of correct
+    members of the scope) + range validity (non-empty, within scope,
+    [⊥] exactly outside the scope). *)
+
+val omega :
+  scope:Pset.t ->
+  horizon:int ->
+  tail:int ->
+  Failure_pattern.t ->
+  (int -> int -> int option) ->
+  unit check
+(** Leadership over the last [tail] instants. *)
+
+val gamma :
+  Topology.t ->
+  families:Topology.family list ->
+  horizon:int ->
+  tail:int ->
+  Failure_pattern.t ->
+  (int -> int -> Topology.family list) ->
+  unit check
+(** Accuracy at every sampled (p, t); completeness over the tail. *)
+
+val indicator :
+  scope:Pset.t ->
+  target:Pset.t ->
+  horizon:int ->
+  tail:int ->
+  Failure_pattern.t ->
+  (int -> int -> bool option) ->
+  unit check
+
+val perfect :
+  horizon:int ->
+  tail:int ->
+  Failure_pattern.t ->
+  (int -> int -> Pset.t) ->
+  unit check
+(** Strong accuracy at every sampled (p, t); strong completeness over
+    the tail. *)

@@ -1,0 +1,29 @@
+(** Constructive reductions between failure-detector classes.
+
+    [mu_of_perfect] realises the Table 1 row "≤ P" (Schiper–Pedone
+    regime [36]): every component of μ — and the §6 strengthenings —
+    is computed from the output of a perfect failure detector alone,
+    showing programmatically that P is at least as strong as
+    μ ∧ (∧ 1^{g∩h}) ∧ (∧ Ω_{g∩h}).
+
+    [gamma_of_indicators] is Proposition 51: the cyclicity detector γ
+    emulated from the indicator detectors [1^{g∩h}] — a family is
+    dropped once, for every class of equivalent closed paths, some
+    visited edge is indicated faulty. *)
+
+val mu_of_perfect : Topology.t -> Perfect.t -> Mu.t
+(** Components derived from the perfect detector's suspicion sets:
+    quorums are the unsuspected members, leaders the smallest
+    unsuspected member, γ drops a family when every closed path visits
+    a fully-suspected edge, and [1^{g∩h}] fires when the whole
+    intersection is suspected. *)
+
+val gamma_of_indicators :
+  Topology.t ->
+  families:Topology.family list ->
+  (Topology.gid -> Topology.gid -> int -> Failure_pattern.time -> bool option) ->
+  int ->
+  Failure_pattern.time ->
+  Topology.family list
+(** [gamma_of_indicators topo ~families indicator p t]: the γ output at
+    [p] computed from the indicators (Prop. 51). *)

@@ -1,0 +1,106 @@
+type time = int
+
+type t = { n : int; crash : time option array }
+
+let never ~n = { n; crash = Array.make n None }
+
+let of_crashes ~n crashes =
+  let crash = Array.make n None in
+  List.iter
+    (fun (p, t) ->
+      if p < 0 || p >= n then invalid_arg "Failure_pattern.of_crashes: bad pid";
+      if t < 0 then invalid_arg "Failure_pattern.of_crashes: negative time";
+      crash.(p) <-
+        (match crash.(p) with None -> Some t | Some t' -> Some (min t t')))
+    crashes;
+  { n; crash }
+
+let n fp = fp.n
+let crash_time fp p = fp.crash.(p)
+
+let is_crashed_at fp p t =
+  match fp.crash.(p) with None -> false | Some ct -> ct <= t
+
+let crashed_at fp t =
+  let rec loop p acc =
+    if p >= fp.n then acc
+    else loop (p + 1) (if is_crashed_at fp p t then Pset.add p acc else acc)
+  in
+  loop 0 Pset.empty
+
+let alive_at fp t = Pset.diff (Pset.range fp.n) (crashed_at fp t)
+
+let faulty fp =
+  let rec loop p acc =
+    if p >= fp.n then acc
+    else
+      loop (p + 1)
+        (match fp.crash.(p) with None -> acc | Some _ -> Pset.add p acc)
+  in
+  loop 0 Pset.empty
+
+let correct fp = Pset.diff (Pset.range fp.n) (faulty fp)
+let is_correct fp p = fp.crash.(p) = None
+
+let set_faulty_at fp set _t_hint =
+  (* Earliest t with set ⊆ F(t) is the max of the members' crash times. *)
+  Pset.fold
+    (fun p acc ->
+      match (acc, fp.crash.(p)) with
+      | None, _ | _, None -> None
+      | Some m, Some ct -> Some (max m ct))
+    set (Some 0)
+
+let set_fault_time fp set =
+  if Pset.is_empty set then None else set_faulty_at fp set 0
+
+let family_fault_time fp topo fam =
+  let edge_fault_time (g, h) = set_fault_time fp (Topology.inter topo g h) in
+  let path_fault_time pi =
+    (* Earliest time the path is broken: min over edges of the edge's
+       full-crash time. *)
+    List.fold_left
+      (fun acc e ->
+        match (acc, edge_fault_time e) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (min a b))
+      None (Topology.cpath_edges pi)
+  in
+  match Topology.cpaths topo fam with
+  | [] -> None
+  | paths ->
+      (* The family is faulty when every path is broken: max over paths. *)
+      List.fold_left
+        (fun acc pi ->
+          match (acc, path_fault_time pi) with
+          | None, _ | _, None -> None
+          | Some a, Some b -> Some (max a b))
+        (Some 0) paths
+
+let crash fp p t =
+  if p < 0 || p >= fp.n then invalid_arg "Failure_pattern.crash: bad pid";
+  let c = Array.copy fp.crash in
+  c.(p) <- (match c.(p) with None -> Some t | Some t' -> Some (min t t'));
+  { fp with crash = c }
+
+let random rng ~n ~max_faulty ~horizon =
+  let k = if max_faulty <= 0 then 0 else Rng.int rng (max_faulty + 1) in
+  let rec pick acc k =
+    if k = 0 then acc
+    else
+      let p = Rng.int rng n in
+      if List.mem_assoc p acc then pick acc k
+      else pick ((p, Rng.int rng (max 1 horizon)) :: acc) (k - 1)
+  in
+  of_crashes ~n (pick [] (min k n))
+
+let pp fmt fp =
+  Format.fprintf fmt "@[<h>crashes:";
+  Array.iteri
+    (fun p ct ->
+      match ct with
+      | None -> ()
+      | Some t -> Format.fprintf fmt " p%d@%d" p t)
+    fp.crash;
+  if Pset.is_empty (faulty fp) then Format.fprintf fmt " none";
+  Format.fprintf fmt "@]"

@@ -1,0 +1,53 @@
+(** Failure patterns (Appendix A of the paper).
+
+    A failure pattern is a monotone function [F : time → 2^P] giving the
+    set of crashed processes at each instant. We represent it by a crash
+    time per process ([None] = the process is correct). *)
+
+type time = int
+
+type t
+
+val never : n:int -> t
+(** No process ever crashes. *)
+
+val of_crashes : n:int -> (int * time) list -> t
+(** [of_crashes ~n [(p, t); ...]]: process [p] crashes at time [t]
+    (it is crashed in every [F(t')] with [t' ≥ t]). *)
+
+val n : t -> int
+val crash_time : t -> int -> time option
+
+val crashed_at : t -> time -> Pset.t
+(** [F(t)]. *)
+
+val alive_at : t -> time -> Pset.t
+(** [P \ F(t)]. *)
+
+val faulty : t -> Pset.t
+(** [Faulty(F) = ∪_t F(t)]. *)
+
+val correct : t -> Pset.t
+(** [Correct(F) = P \ Faulty(F)]. *)
+
+val is_correct : t -> int -> bool
+val is_crashed_at : t -> int -> time -> bool
+
+val set_faulty_at : t -> Pset.t -> time -> time option
+(** Earliest time at which the whole set is crashed, if any. *)
+
+val family_fault_time : t -> Topology.t -> Topology.family -> time option
+(** Earliest time at which the cyclic family is faulty (every closed
+    path visits an all-crashed edge), if ever. *)
+
+val crash : t -> int -> time -> t
+(** [crash fp p t]: a copy of [fp] where additionally [p] crashes at
+    [t] (or earlier if it already crashed before [t]). Models the
+    environment assumption of §5.2 that a failure-prone process may
+    fail at any time. *)
+
+val random : Rng.t -> n:int -> max_faulty:int -> horizon:time -> t
+(** Random pattern with at most [max_faulty] crashes, at times drawn
+    uniformly in [0, horizon). *)
+
+val pp : Format.formatter -> t -> unit

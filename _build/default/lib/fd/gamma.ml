@@ -1,0 +1,42 @@
+type t = {
+  topo : Topology.t;
+  seed : int;
+  max_delay : int;
+  (* For every family: its index, the family, and its fault time. *)
+  entries : (int * Topology.family * Failure_pattern.time option) list;
+  (* F(p), precomputed per process as entry indices. *)
+  per_process : int list array;
+}
+
+let make ?(max_delay = 5) ~seed topo ~families fp =
+  let entries =
+    List.mapi
+      (fun i fam -> (i, fam, Failure_pattern.family_fault_time fp topo fam))
+      families
+  in
+  let per_process =
+    Array.init (Topology.n topo) (fun p ->
+        let mine = Topology.families_of_process topo families p in
+        List.filter_map
+          (fun (i, fam, _) -> if List.mem fam mine then Some i else None)
+          entries)
+  in
+  { topo; seed; max_delay; entries; per_process }
+
+let delay d p i =
+  if d.max_delay = 0 then 0 else Hashtbl.hash (d.seed, p, i) mod (d.max_delay + 1)
+
+let output_entry d p t (i, fam, fault_time) =
+  match fault_time with
+  | None -> Some fam
+  | Some ft -> if t >= ft + delay d p i then None else Some fam
+
+let query d p t =
+  List.filter_map
+    (fun i -> output_entry d p t (List.nth d.entries i))
+    d.per_process.(p)
+
+let groups d p t g = Topology.gamma_groups d.topo (query d p t) g
+
+let families_of d p =
+  List.map (fun i -> let _, fam, _ = List.nth d.entries i in fam) d.per_process.(p)

@@ -1,0 +1,18 @@
+type 'm t = {
+  queues : (int * 'm) Queue.t array;
+  mutable sent : int;
+}
+
+let create ~n = { queues = Array.init n (fun _ -> Queue.create ()); sent = 0 }
+
+let send t ~src ~dst m =
+  Queue.push (src, m) t.queues.(dst);
+  t.sent <- t.sent + 1
+
+let multicast t ~src dsts m = Pset.iter (fun q -> send t ~src ~dst:q m) dsts
+
+let receive t p =
+  match Queue.take_opt t.queues.(p) with None -> None | Some sm -> Some sm
+
+let pending t p = Queue.length t.queues.(p)
+let total_sent t = t.sent

@@ -1,0 +1,20 @@
+(** Point-to-point message buffer (the [BUFF] of Appendix A).
+
+    Messages are reliable but asynchronous: a send enqueues into the
+    destination's buffer; the destination dequeues at its own pace
+    (one message per step, FIFO per destination, which realises the
+    fairness condition that every message addressed to a process that
+    steps infinitely often is eventually received). *)
+
+type 'm t
+
+val create : n:int -> 'm t
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+val multicast : 'm t -> src:int -> Pset.t -> 'm -> unit
+(** Send to every member of the set (including the sender if member). *)
+
+val receive : 'm t -> int -> (int * 'm) option
+(** Dequeue the oldest pending message of a process: [(src, payload)]. *)
+
+val pending : 'm t -> int -> int
+val total_sent : 'm t -> int

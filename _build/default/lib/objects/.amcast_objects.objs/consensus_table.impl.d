@@ -1,0 +1,1 @@
+lib/objects/consensus_table.ml: Hashtbl

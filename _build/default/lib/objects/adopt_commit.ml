@@ -1,0 +1,20 @@
+type 'v outcome = [ `Commit of 'v | `Adopt of 'v ]
+
+type 'v t = { mutable first : 'v option; mutable count : int; mutable conflict : bool }
+
+let create () = { first = None; count = 0; conflict = false }
+
+let propose t v =
+  t.count <- t.count + 1;
+  match t.first with
+  | None ->
+      t.first <- Some v;
+      `Commit v
+  | Some w ->
+      if w = v && not t.conflict then `Commit w
+      else begin
+        t.conflict <- true;
+        `Adopt w
+      end
+
+let proposals t = t.count

@@ -1,0 +1,18 @@
+(** Adopt-commit objects [Gafni 98], used to make the [LOG_{g∩h}]
+    universal construction contention-free fast (§4.3, Prop 47).
+
+    [propose v] returns either [`Commit w] or [`Adopt w] such that:
+    - (validity) [w] was proposed;
+    - (coherence) if some process commits [w], every output carries [w];
+    - (convergence) if all proposals are equal, every output commits.
+
+    Specification object; the quorum-based message-passing construction
+    from [Σ_{g∩h}] lives in [Amcast_substrate.Ac]. *)
+
+type 'v t
+
+type 'v outcome = [ `Commit of 'v | `Adopt of 'v ]
+
+val create : unit -> 'v t
+val propose : 'v t -> 'v -> 'v outcome
+val proposals : 'v t -> int

@@ -1,0 +1,57 @@
+type 'a entry = { mutable position : int; mutable is_locked : bool }
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  table : ('a, 'a entry) Hashtbl.t;
+  mutable max_pos : int;
+}
+
+let create ~compare = { compare; table = Hashtbl.create 16; max_pos = 0 }
+
+let head log = log.max_pos + 1
+
+let mem log d = Hashtbl.mem log.table d
+
+let pos log d =
+  match Hashtbl.find_opt log.table d with None -> 0 | Some e -> e.position
+
+let append log d =
+  match Hashtbl.find_opt log.table d with
+  | Some e -> e.position
+  | None ->
+      let p = head log in
+      Hashtbl.replace log.table d { position = p; is_locked = false };
+      log.max_pos <- max log.max_pos p;
+      p
+
+let locked log d =
+  match Hashtbl.find_opt log.table d with
+  | None -> false
+  | Some e -> e.is_locked
+
+let bump_and_lock log d k =
+  match Hashtbl.find_opt log.table d with
+  | None -> invalid_arg "Log.bump_and_lock: datum not in the log"
+  | Some e ->
+      if not e.is_locked then begin
+        e.position <- max k e.position;
+        e.is_locked <- true;
+        log.max_pos <- max log.max_pos e.position
+      end
+
+let lt log d d' =
+  let e = Hashtbl.find log.table d and e' = Hashtbl.find log.table d' in
+  e.position < e'.position
+  || (e.position = e'.position && log.compare d d' < 0)
+
+let entries log =
+  Hashtbl.fold (fun d e acc -> (d, e.position) :: acc) log.table []
+  |> List.sort (fun (d, p) (d', p') ->
+         if p <> p' then Stdlib.compare p p' else log.compare d d')
+  |> List.map fst
+
+let before log d =
+  if not (mem log d) then invalid_arg "Log.before: datum not in the log";
+  List.filter (fun d' -> log.compare d d' <> 0 && lt log d' d) (entries log)
+
+let length log = Hashtbl.length log.table

@@ -1,0 +1,49 @@
+(** The paper's log object (§4.3).
+
+    A log is an infinite array of slots numbered from 1; a slot may hold
+    several data items. [append] inserts at the head (the first free
+    slot after which only free slots remain); [bump_and_lock d k] moves
+    [d] from its slot [l] to slot [max k l] and locks it there — a
+    locked datum can never move again. The induced order [d <_L d']
+    compares positions, breaking ties with an a-priori total order on
+    data.
+
+    This is the linearizable, wait-free specification object; the
+    simulator executes each operation atomically, which realises
+    linearizability by construction. A message-passing implementation
+    from the claimed failure detectors lives in [Amcast_substrate]. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+(** [compare] is the a-priori total order used for slot-sharing ties. *)
+
+val append : 'a t -> 'a -> int
+(** Insert at the head slot and return the datum's position. Does
+    nothing (returns the current position) if already present. *)
+
+val mem : 'a t -> 'a -> bool
+
+val pos : 'a t -> 'a -> int
+(** Current slot of the datum; [0] if absent. *)
+
+val bump_and_lock : 'a t -> 'a -> int -> unit
+(** Move the datum to [max k current] and lock it. No effect on an
+    already-locked datum. Raises [Invalid_argument] if absent. *)
+
+val locked : 'a t -> 'a -> bool
+
+val head : 'a t -> int
+(** The first free slot after which only free slots remain. *)
+
+val lt : 'a t -> 'a -> 'a -> bool
+(** [lt log d d']: the order [d <_L d'] (both data must be present). *)
+
+val entries : 'a t -> 'a list
+(** All data in log order (increasing [<_L]). *)
+
+val before : 'a t -> 'a -> 'a list
+(** All data strictly smaller than the given datum (which must be
+    present) in the log order. *)
+
+val length : 'a t -> int

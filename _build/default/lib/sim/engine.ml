@@ -1,0 +1,40 @@
+type stats = {
+  steps : int array;
+  executed : int;
+  ticks_used : int;
+  quiescent : bool;
+}
+
+let run ~fp ~horizon ?(quiesce_after = 0) ?(seed = 1) ?scheduled
+    ?(steps_per_tick = 1) ?(on_tick = fun (_ : int) -> ()) ~step () =
+  let n = Failure_pattern.n fp in
+  let rng = Rng.make seed in
+  let steps = Array.make n 0 in
+  let executed = ref 0 in
+  let everyone = Pset.range n in
+  let rec tick t =
+    if t > horizon then { steps; executed = !executed; ticks_used = t; quiescent = false }
+    else begin
+      on_tick t;
+      let base = match scheduled with None -> everyone | Some f -> f t in
+      let sched = Pset.inter base (Failure_pattern.alive_at fp t) in
+      let order = Rng.shuffle rng (Pset.to_list sched) in
+      let any = ref false in
+      List.iter
+        (fun p ->
+          let rec attempts k =
+            if k > 0 && step ~pid:p ~time:t then begin
+              steps.(p) <- steps.(p) + 1;
+              incr executed;
+              any := true;
+              attempts (k - 1)
+            end
+          in
+          attempts steps_per_tick)
+        order;
+      if (not !any) && t >= quiesce_after then
+        { steps; executed = !executed; ticks_used = t; quiescent = true }
+      else tick (t + 1)
+    end
+  in
+  tick 0

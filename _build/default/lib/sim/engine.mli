@@ -1,0 +1,36 @@
+(** Discrete-event execution of guarded-action algorithms.
+
+    Time advances in ticks. At every tick the engine visits the
+    scheduled, not-yet-crashed processes in a seeded random order and
+    offers each one the chance to execute one action ([step] returns
+    whether it did). Crashes follow the failure pattern; a crashed
+    process is never scheduled again. Runs are deterministic functions
+    of the seed.
+
+    Fairness: with the default schedule every alive process is visited
+    at every tick, which realises the fair runs of the paper's model.
+    The [scheduled] hook restricts visits to a subset per tick and is
+    used for the P-fair runs of §6.2 (group parallelism). *)
+
+type stats = {
+  steps : int array;  (** actions executed per process *)
+  executed : int;  (** total actions executed *)
+  ticks_used : int;  (** ticks elapsed before quiescence/horizon *)
+  quiescent : bool;  (** stopped because no action was enabled *)
+}
+
+val run :
+  fp:Failure_pattern.t ->
+  horizon:int ->
+  ?quiesce_after:int ->
+  ?seed:int ->
+  ?scheduled:(int -> Pset.t) ->
+  ?steps_per_tick:int ->
+  ?on_tick:(int -> unit) ->
+  step:(pid:int -> time:int -> bool) ->
+  unit ->
+  stats
+(** [quiesce_after] (default [0]): earliest tick at which the engine
+    may stop because a full tick passed with no action executed. Set it
+    beyond every crash time and detector delay, since guards can become
+    enabled by time alone. *)

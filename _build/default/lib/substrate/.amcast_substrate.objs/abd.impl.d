@@ -1,0 +1,1 @@
+lib/substrate/abd.ml: Array Hashtbl Net Pset

@@ -1,0 +1,1 @@
+lib/substrate/ac.ml: Array List Net Pset

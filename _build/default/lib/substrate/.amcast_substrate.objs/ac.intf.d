@@ -1,0 +1,1 @@
+lib/substrate/ac.mli: Pset

@@ -1,0 +1,1 @@
+lib/substrate/replog.ml: Ac Array Hashtbl List Pset Synod

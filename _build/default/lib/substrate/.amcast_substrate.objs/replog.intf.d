@@ -1,0 +1,1 @@
+lib/substrate/replog.mli: Pset

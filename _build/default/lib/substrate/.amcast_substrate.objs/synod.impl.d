@@ -1,0 +1,1 @@
+lib/substrate/synod.ml: Array List Net Pset

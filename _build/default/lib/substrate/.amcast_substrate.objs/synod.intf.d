@@ -1,0 +1,1 @@
+lib/substrate/synod.mli: Pset

@@ -1,0 +1,27 @@
+(** Quorum-based adopt-commit over [Σ_{g∩h}] (Gafni's round-by-round
+    construction [20], message-passing form).
+
+    Two announcement rounds, each gathered from a Σ quorum:
+    - round 1 announces the proposal; a unanimous quorum lets the
+      process carry a commit intent into round 2;
+    - round 2 announces (value, intent): a quorum unanimous in intent
+      commits; seeing any intent forces adopting its value; otherwise
+      the process adopts the smallest round-1 value seen.
+
+    Validity, coherence and convergence hold — this is the object
+    guarding each slot of the fast [LOG_{g∩h}] (§4.3, Prop. 47). *)
+
+type t
+
+val create :
+  scope:Pset.t ->
+  sigma:(int -> int -> Pset.t option) ->
+  t
+
+val propose : t -> pid:int -> value:int -> unit
+(** Each scope member proposes at most once. *)
+
+val poll : t -> pid:int -> [ `Commit of int | `Adopt of int ] option
+
+val step : t -> pid:int -> time:int -> bool
+val messages_sent : t -> int

@@ -1,0 +1,154 @@
+type slot = {
+  ac : Ac.t;
+  mutable synod : Synod.t option; (* created on first slow-path entry *)
+  mutable fast_value : int option; (* value committed by the adopt-commit *)
+}
+
+type client = {
+  mutable queue : int list; (* pending ops, oldest first *)
+  mutable slot : int; (* first slot not locally decided *)
+  mutable prefix : int list; (* decided ops, newest first *)
+  mutable proposed_ac : bool; (* proposed in the current slot's AC *)
+  mutable proposed_synod : bool;
+}
+
+type t = {
+  scope : Pset.t;
+  group : Pset.t;
+  sigma_inter : int -> int -> Pset.t option;
+  sigma_group : int -> int -> Pset.t option;
+  omega_group : int -> int -> int option;
+  slots : (int, slot) Hashtbl.t;
+  clients : client array;
+  mutable fast : int;
+  mutable slow : int;
+}
+
+let create ~scope ~group ~sigma_inter ~sigma_group ~omega_group =
+  if not (Pset.subset scope group) then
+    invalid_arg "Replog.create: scope must be inside the host group";
+  let n = 1 + Pset.fold max group 0 in
+  {
+    scope;
+    group;
+    sigma_inter;
+    sigma_group;
+    omega_group;
+    slots = Hashtbl.create 16;
+    clients =
+      Array.init n (fun _ ->
+          { queue = []; slot = 0; prefix = []; proposed_ac = false; proposed_synod = false });
+    fast = 0;
+    slow = 0;
+  }
+
+let slot_of t s =
+  match Hashtbl.find_opt t.slots s with
+  | Some sl -> sl
+  | None ->
+      let sl =
+        { ac = Ac.create ~scope:t.scope ~sigma:t.sigma_inter; synod = None; fast_value = None }
+      in
+      Hashtbl.replace t.slots s sl;
+      sl
+
+let ensure_synod t sl =
+  match sl.synod with
+  | Some sy -> sy
+  | None ->
+      let sy =
+        Synod.create ~scope:t.group ~sigma:t.sigma_group ~omega:t.omega_group
+      in
+      sl.synod <- Some sy;
+      t.slow <- t.slow + 1;
+      sy
+
+let append t ~pid ~op =
+  if not (Pset.mem pid t.scope) then invalid_arg "Replog.append: outside scope";
+  t.clients.(pid).queue <- t.clients.(pid).queue @ [ op ]
+
+let decide_local t p value =
+  let c = t.clients.(p) in
+  c.prefix <- value :: c.prefix;
+  c.slot <- c.slot + 1;
+  c.proposed_ac <- false;
+  c.proposed_synod <- false;
+  (* If it was our own op, it is done. *)
+  match c.queue with
+  | op :: rest when op = value -> c.queue <- rest
+  | _ -> ()
+
+let decided t ~pid = List.rev t.clients.(pid).prefix
+let appended t ~pid ~op = List.mem op t.clients.(pid).prefix
+let fast_slots t = t.fast
+let slow_slots t = t.slow
+
+(* Client progression on the current slot. Runs whether or not the
+   process has a pending operation: an idle member pulled into a slot
+   (through the adopt-commit join) still resolves it and learns the
+   decided prefix, so the log stays readable at every scope member. *)
+let client_transitions t p time =
+  let c = t.clients.(p) in
+  let sl = slot_of t c.slot in
+  match c.queue with
+  | op :: _ when not c.proposed_ac ->
+      c.proposed_ac <- true;
+      Ac.propose sl.ac ~pid:p ~value:op;
+      true
+  | _ -> (
+      match Ac.poll sl.ac ~pid:p with
+        | None -> Ac.step sl.ac ~pid:p ~time
+        | Some (`Commit v) ->
+            if sl.fast_value = None && sl.synod = None then begin
+              sl.fast_value <- Some v;
+              t.fast <- t.fast + 1
+            end;
+            decide_local t p v;
+            true
+        | Some (`Adopt v) -> (
+            let sy = ensure_synod t sl in
+            if not c.proposed_synod then begin
+              c.proposed_synod <- true;
+              Synod.propose sy ~pid:p ~value:v;
+              true
+            end
+            else
+              match Synod.decision sy ~pid:p with
+              | Some d ->
+                  decide_local t p d;
+                  true
+              | None -> Synod.step sy ~pid:p ~time))
+
+(* Participant duty: scope members keep answering adopt-commit traffic
+   of every slot (join-and-ack), even with no operation of their own. *)
+let participant_transitions t p time =
+  Hashtbl.fold
+    (fun _ sl acted -> acted || Ac.step sl.ac ~pid:p ~time)
+    t.slots false
+
+(* Acceptor duty: members of the host group serve the slow path of any
+   slot whose consensus is running. *)
+let acceptor_transitions t p time =
+  Hashtbl.fold
+    (fun _ sl acted ->
+      acted
+      ||
+      match sl.synod with
+      | Some sy -> Synod.step sy ~pid:p ~time
+      | None -> false)
+    t.slots false
+
+let step t ~pid:p ~time =
+  if Pset.mem p t.scope then
+    client_transitions t p time
+    || participant_transitions t p time
+    || acceptor_transitions t p time
+  else if Pset.mem p t.group then acceptor_transitions t p time
+  else false
+
+let messages_sent t =
+  Hashtbl.fold
+    (fun _ sl acc ->
+      acc + Ac.messages_sent sl.ac
+      + (match sl.synod with Some sy -> Synod.messages_sent sy | None -> 0))
+    t.slots 0

@@ -1,0 +1,46 @@
+(** The contention-free-fast replicated log of §4.3 — the
+    message-passing implementation of [LOG_{g∩h}] behind Prop. 47.
+
+    The log is an unbounded list of slots. Each slot is guarded by an
+    adopt-commit object among [g ∩ h] (from [Σ_{g∩h}]); only when the
+    adopt-commit fails to commit — i.e. under step contention — is an
+    actual consensus called, implemented in the host group [g] (from
+    [Σ_g ∧ Ω_g]). When every appender proposes the same operation
+    sequence, only the adopt-commit objects run and {e only the
+    processes of [g ∩ h] take steps} (Prop. 47); the experiment harness
+    measures exactly this. *)
+
+type t
+
+val create :
+  scope:Pset.t ->
+  group:Pset.t ->
+  sigma_inter:(int -> int -> Pset.t option) ->
+  sigma_group:(int -> int -> Pset.t option) ->
+  omega_group:(int -> int -> int option) ->
+  t
+(** [scope] is [g ∩ h] (the appenders), [group] is [g] (the consensus
+    host). [scope ⊆ group] is required. *)
+
+val append : t -> pid:int -> op:int -> unit
+(** Enqueue an operation (a distinct integer) for appending by [pid]
+    (a scope member). Operations of one process append in FIFO order. *)
+
+val step : t -> pid:int -> time:int -> bool
+(** Advance the process: drive the current slot's adopt-commit, the
+    slow-path consensus, or act as a consensus acceptor. Returns false
+    when the process has nothing to do — in particular, members of
+    [group \ scope] return false as long as every slot stays on the
+    fast path. *)
+
+val decided : t -> pid:int -> int list
+(** The locally-learned decided prefix (operation per slot). *)
+
+val appended : t -> pid:int -> op:int -> bool
+(** Whether the operation has landed in the local decided prefix. *)
+
+val fast_slots : t -> int
+(** Slots decided without calling consensus. *)
+
+val slow_slots : t -> int
+val messages_sent : t -> int

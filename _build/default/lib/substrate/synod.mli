@@ -1,0 +1,26 @@
+(** Single-decree indulgent consensus from [Ω_g ∧ Σ_g] (the "boosted
+    obstruction-free consensus" of §4 [25], in its classical
+    ballot-based message-passing form).
+
+    The process elected by Ω runs prepare/accept rounds; both phases
+    complete once a Σ quorum answered. Safety (agreement, validity)
+    holds under any detector output; termination once Ω stabilises on
+    a correct leader and Σ returns live quorums. *)
+
+type t
+
+val create :
+  scope:Pset.t ->
+  sigma:(int -> int -> Pset.t option) ->
+  omega:(int -> int -> int option) ->
+  t
+
+val propose : t -> pid:int -> value:int -> unit
+(** Register an input value. A process may act as leader only after
+    proposing. *)
+
+val decision : t -> pid:int -> int option
+(** The decided value as learned by a process. *)
+
+val step : t -> pid:int -> time:int -> bool
+val messages_sent : t -> int

@@ -1,0 +1,1 @@
+lib/util/pset.ml: Array Format Hashtbl List Stdlib

@@ -1,0 +1,120 @@
+(* Packed bitset. Words are 62-bit payloads of OCaml native ints. The
+   canonical form has no trailing zero words, so structural equality of
+   the arrays coincides with set equality. *)
+
+let bits_per_word = 62
+
+type t = int array
+
+let empty : t = [||]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let singleton p =
+  if p < 0 then invalid_arg "Pset.singleton: negative process id";
+  let w = p / bits_per_word and b = p mod bits_per_word in
+  let a = Array.make (w + 1) 0 in
+  a.(w) <- 1 lsl b;
+  a
+
+let mem p (s : t) =
+  if p < 0 then false
+  else
+    let w = p / bits_per_word and b = p mod bits_per_word in
+    w < Array.length s && s.(w) land (1 lsl b) <> 0
+
+let add p (s : t) =
+  if p < 0 then invalid_arg "Pset.add: negative process id";
+  let w = p / bits_per_word and b = p mod bits_per_word in
+  let len = max (Array.length s) (w + 1) in
+  let a = Array.make len 0 in
+  Array.blit s 0 a 0 (Array.length s);
+  a.(w) <- a.(w) lor (1 lsl b);
+  a
+
+let remove p (s : t) =
+  if not (mem p s) then s
+  else begin
+    let a = Array.copy s in
+    let w = p / bits_per_word and b = p mod bits_per_word in
+    a.(w) <- a.(w) land lnot (1 lsl b);
+    normalize a
+  end
+
+let of_list ps = List.fold_left (fun s p -> add p s) empty ps
+
+let range n =
+  let rec loop i s = if i >= n then s else loop (i + 1) (add i s) in
+  loop 0 empty
+
+let is_empty (s : t) = Array.length s = 0
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal (s : t) = Array.fold_left (fun acc w -> acc + popcount w) 0 s
+
+let binop f (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let len = max la lb in
+  let r = Array.make len 0 in
+  for i = 0 to len - 1 do
+    let wa = if i < la then a.(i) else 0 in
+    let wb = if i < lb then b.(i) else 0 in
+    r.(i) <- f wa wb
+  done;
+  normalize r
+
+let union = binop ( lor )
+let inter = binop ( land )
+let diff = binop (fun x y -> x land lnot y)
+let sym_diff = binop ( lxor )
+
+let subset a b = Array.length (diff a b) = 0
+let disjoint a b = Array.length (inter a b) = 0
+let intersects a b = not (disjoint a b)
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (s : t) = Hashtbl.hash s
+
+let fold f (s : t) init =
+  let acc = ref init in
+  Array.iteri
+    (fun i w ->
+      let w = ref w in
+      while !w <> 0 do
+        let b = !w land - !w in
+        let p = (i * bits_per_word) + popcount (b - 1) in
+        acc := f p !acc;
+        w := !w land lnot b
+      done)
+    s;
+  !acc
+
+let iter f s = fold (fun p () -> f p) s ()
+let to_list s = List.rev (fold (fun p acc -> p :: acc) s [])
+
+let min_elt s =
+  match to_list s with [] -> None | p :: _ -> Some p
+
+let choose s =
+  match min_elt s with Some p -> p | None -> raise Not_found
+
+let for_all f s = fold (fun p acc -> acc && f p) s true
+let exists f s = fold (fun p acc -> acc || f p) s false
+let filter f s = fold (fun p acc -> if f p then add p acc else acc) s empty
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt p -> Format.fprintf fmt "p%d" p))
+    (to_list s)
+
+let to_string s = Format.asprintf "%a" pp s

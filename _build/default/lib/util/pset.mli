@@ -1,0 +1,62 @@
+(** Immutable sets of process identifiers.
+
+    Processes are identified by small non-negative integers ([0 .. n-1]).
+    The representation is a packed bitset, so membership, union,
+    intersection and difference are O(n/63) with tiny constants. All
+    values are immutable; operations return fresh sets. *)
+
+type t
+
+val empty : t
+(** The empty set. *)
+
+val singleton : int -> t
+(** [singleton p] is the set [{p}]. Raises [Invalid_argument] if [p < 0]. *)
+
+val of_list : int list -> t
+(** [of_list ps] is the set of all elements of [ps]. *)
+
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val range : int -> t
+(** [range n] is [{0, 1, ..., n-1}]. *)
+
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val sym_diff : t -> t -> t
+(** Symmetric difference, written [g ⊕ h] in the paper. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every element of [a] belongs to [b]. *)
+
+val disjoint : t -> t -> bool
+val intersects : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val min_elt : t -> int option
+(** Smallest element, or [None] on the empty set. *)
+
+val choose : t -> int
+(** An arbitrary (smallest) element. Raises [Not_found] on the empty set. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{p0, p3, p5}]. *)
+
+val to_string : t -> string

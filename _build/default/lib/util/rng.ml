@@ -1,0 +1,50 @@
+(* Splitmix64, the de-facto standard seedable generator for simulators:
+   tiny state, excellent statistical quality, trivially splittable. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  let x = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  x mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x *. (u /. 9007199254740992.0)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_set t s =
+  match Pset.to_list s with
+  | [] -> invalid_arg "Rng.pick_set: empty set"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let subset t s = Pset.filter (fun _ -> bool t) s

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All randomness in the simulator flows through explicit [Rng.t]
+    states so that every run is reproducible from its seed, and
+    independent streams can be split off deterministically. *)
+
+type t
+
+val make : int -> t
+(** [make seed] creates a fresh generator. *)
+
+val split : t -> t
+(** [split rng] derives an independent stream; [rng] advances. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float rng x] is uniform in [0, x). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val pick_set : t -> Pset.t -> int
+(** Uniform element of a non-empty process set. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)
+
+val subset : t -> Pset.t -> Pset.t
+(** Uniform random subset (possibly empty). *)

@@ -1,0 +1,1 @@
+test/test_algorithm1.ml: Alcotest Algorithm1 Array Claims Derive Engine Failure_pattern Format List Mu Perfect Printf Properties Pset QCheck QCheck_alcotest Rng Runner Topology Trace Workload

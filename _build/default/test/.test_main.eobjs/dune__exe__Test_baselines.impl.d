@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Broadcast Engine Failure_pattern List Partitioned Properties QCheck QCheck_alcotest Rng Runner Skeen Topology Workload

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Algorithm1 Array Engine Failure_pattern List Properties Pset Runner Topology Trace Workload

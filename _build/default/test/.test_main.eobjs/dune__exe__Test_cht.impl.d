@@ -1,0 +1,1 @@
+test/test_cht.ml: Alcotest Cht_extract Failure_pattern Floodset Lazy List Pset QCheck QCheck_alcotest Rng Topology

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Amsg Fun List Pset QCheck QCheck_alcotest Rng Topology Trace Workload

@@ -1,0 +1,1 @@
+test/test_detectors.ml: Alcotest Axioms Derive Failure_pattern Format Gamma Indicator List Mu Omega Perfect Printf Pset QCheck QCheck_alcotest Rng Sigma Topology

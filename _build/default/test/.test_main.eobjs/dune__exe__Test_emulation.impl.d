@@ -1,0 +1,1 @@
+test/test_emulation.ml: Alcotest Axioms Failure_pattern Gamma_extract Indicator_extract Lazy Pset Sigma_extract Topology

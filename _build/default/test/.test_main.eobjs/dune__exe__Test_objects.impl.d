@@ -1,0 +1,1 @@
+test/test_objects.ml: Adopt_commit Alcotest Array Consensus_table Engine Failure_pattern Gen Int List Log Pset QCheck QCheck_alcotest

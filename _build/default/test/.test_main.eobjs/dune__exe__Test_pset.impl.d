@@ -1,0 +1,1 @@
+test/test_pset.ml: Alcotest List Pset QCheck QCheck_alcotest

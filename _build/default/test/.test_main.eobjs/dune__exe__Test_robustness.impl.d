@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Algorithm1 Claims Derive Engine Failure_pattern List Mu Perfect Properties Pset QCheck QCheck_alcotest Rng Runner Topology Trace Workload

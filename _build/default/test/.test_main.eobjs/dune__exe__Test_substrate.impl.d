@@ -1,0 +1,1 @@
+test/test_substrate.ml: Abd Ac Alcotest Array Engine Failure_pattern Gen List Net Omega Printf Pset QCheck QCheck_alcotest Replog Rng Sigma Synod

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Fun List Printf Pset QCheck QCheck_alcotest Rng Str String Topology

@@ -1,0 +1,321 @@
+let t = Alcotest.test_case
+
+let check_all o =
+  match Properties.check_all o with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let run ?variant ?scheduled ?seed ?mu topo fp workload =
+  Runner.run ?variant ?scheduled ?seed ?mu ~topo ~fp ~workload ()
+
+(* ---------------- canonical scenarios ------------------------------ *)
+
+let figure1_no_crash () =
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.never ~n:5 in
+  let o = run topo fp (Workload.one_per_group topo) in
+  check_all o;
+  Alcotest.(check int) "every member delivers" 10
+    (List.length (Trace.deliveries o.Runner.trace));
+  Alcotest.(check bool) "engine quiesces" true o.Runner.stats.Engine.quiescent
+
+let figure1_crash_intersection () =
+  (* p1 = the paper's p2, the whole g0∩g1: f and f'' become faulty. *)
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.of_crashes ~n:5 [ (1, 4) ] in
+  let o = run topo fp (Workload.random (Rng.make 2) ~msgs:8 ~max_at:15 topo) in
+  check_all o
+
+let crash_before_invoke () =
+  (* A faulty source that never invokes: nothing to deliver, nothing
+     violated. *)
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.of_crashes ~n:5 [ (2, 0) ] in
+  let workload = Workload.make [ (2, 1, 5) ] topo in
+  let o = run topo fp workload in
+  check_all o;
+  Alcotest.(check int) "no deliveries" 0 (List.length (Trace.deliveries o.Runner.trace))
+
+let crash_after_invoke_helping () =
+  (* The source lists its message and crashes before A.multicast: the
+     other members help (Prop. 1 reduction) and still deliver. *)
+  let topo = Topology.chain ~groups:1 in
+  (* g0 = {0,1,2} *)
+  let fp = Failure_pattern.of_crashes ~n:3 [ (0, 1) ] in
+  let workload = Workload.make [ (0, 0, 0) ] topo in
+  let o = run ~seed:4 topo fp workload in
+  check_all o;
+  let delivered_somewhere =
+    List.exists (fun (_, m, _, _) -> m = 0) (Trace.deliveries o.Runner.trace)
+  in
+  (* Either the message entered the system (then all correct deliver,
+     enforced by check_all), or it was lost with the source — both are
+     legal; what matters is no violation and quiescence. *)
+  Alcotest.(check bool) "run quiesces" true
+    (o.Runner.stats.Engine.quiescent || delivered_somewhere)
+
+let single_process_group () =
+  (* A message addressed to a singleton group: trivially solvable. *)
+  let topo = Topology.create ~n:3 [ Pset.singleton 1; Pset.of_list [ 0; 1; 2 ] ] in
+  let fp = Failure_pattern.never ~n:3 in
+  let workload = Workload.make [ (1, 0, 0); (0, 1, 0) ] topo in
+  let o = run topo fp workload in
+  check_all o
+
+let broadcast_regime () =
+  (* One group = all processes: atomic multicast degenerates to atomic
+     broadcast; everything is delivered in the same total order. *)
+  let topo = Topology.create ~n:4 [ Pset.range 4 ] in
+  let fp = Failure_pattern.of_crashes ~n:4 [ (3, 8) ] in
+  let workload = Workload.random (Rng.make 9) ~msgs:6 ~max_at:6 topo in
+  let o = run topo fp workload in
+  check_all o;
+  (* identical delivery order at every correct process *)
+  let orders =
+    List.filter_map
+      (fun p ->
+        match Trace.delivery_order o.Runner.trace p with [] -> None | l -> Some l)
+      [ 0; 1; 2 ]
+  in
+  match orders with
+  | [] -> Alcotest.fail "nothing delivered"
+  | first :: rest ->
+      List.iter
+        (fun l -> Alcotest.(check (list int)) "same total order" first l)
+        rest
+
+let genuineness_steps () =
+  (* Processes with no message addressed to them take no step at all. *)
+  let topo = Topology.disjoint ~groups:3 ~size:2 in
+  let fp = Failure_pattern.never ~n:6 in
+  let workload = Workload.make [ (0, 0, 0) ] topo in
+  let o = run topo fp workload in
+  check_all o;
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%d took no steps" p)
+        0
+        o.Runner.stats.Engine.steps.(p))
+    [ 2; 3; 4; 5 ]
+
+let group_sequential_pipelining () =
+  (* Many messages from different sources to one group: the Prop. 1
+     wrapper serialises them; all get delivered. *)
+  let topo = Topology.create ~n:3 [ Pset.range 3 ] in
+  let fp = Failure_pattern.never ~n:3 in
+  let workload =
+    Workload.make [ (0, 0, 0); (1, 0, 0); (2, 0, 0); (0, 0, 1); (1, 0, 2) ] topo
+  in
+  let o = run topo fp workload in
+  check_all o;
+  Alcotest.(check int) "15 deliveries" 15 (List.length (Trace.deliveries o.Runner.trace))
+
+let phase_machine () =
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.never ~n:5 in
+  let o = run topo fp (Workload.one_per_group topo) in
+  (* Claim 14: every delivery passed through pending, commit, stable. *)
+  List.iter
+    (fun (p, m, _, _) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "phases of m%d at p%d" m p)
+        [ "pending"; "commit"; "stable"; "deliver" ]
+        (List.map
+           (Format.asprintf "%a" Trace.pp_phase)
+           (Trace.phase_history o.Runner.trace ~p ~m)))
+    (Trace.deliveries o.Runner.trace)
+
+let consensus_keys () =
+  (* On an acyclic topology H(p,g) = ∅, so all of g shares one consensus
+     instance per message; instances stay bounded by the message count. *)
+  let topo = Topology.chain ~groups:3 in
+  let fp = Failure_pattern.never ~n:(Topology.n topo) in
+  let workload = Workload.one_per_group topo in
+  let o = run topo fp workload in
+  check_all o;
+  Alcotest.(check bool) "≤ one instance per message" true
+    (o.Runner.consensus_instances <= List.length workload)
+
+(* ---------------- variants ---------------------------------------- *)
+
+let strict_holds_under_crashes =
+  QCheck.Test.make ~name:"strict variant: strict ordering on random runs" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let topo = Topology.figure1 in
+      let fp =
+        Failure_pattern.random (Rng.make (seed * 3 + 1)) ~n:5 ~max_faulty:1
+          ~horizon:20
+      in
+      let workload = Workload.random (Rng.make seed) ~msgs:5 ~max_at:20 topo in
+      let o = run ~variant:Algorithm1.Strict ~seed topo fp workload in
+      Properties.strict_ordering o = Ok ()
+      && Properties.integrity o = Ok ()
+      && Properties.termination o = Ok ())
+
+let pairwise_holds =
+  QCheck.Test.make ~name:"pairwise variant: pairwise ordering + termination" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let topo = Topology.ring ~groups:3 in
+      let fp = Failure_pattern.never ~n:(Topology.n topo) in
+      let workload = Workload.random (Rng.make seed) ~msgs:5 ~max_at:5 topo in
+      let o = run ~variant:Algorithm1.Pairwise ~seed topo fp workload in
+      Properties.pairwise_ordering o = Ok ()
+      && Properties.integrity o = Ok ()
+      && Properties.termination o = Ok ())
+
+let vanilla_strict_violation_witness () =
+  (* The deterministic §6.1 counterexample (see EXPERIMENTS.md). *)
+  let topo = Topology.chain ~groups:2 in
+  let n = Topology.n topo in
+  let fp = Failure_pattern.never ~n in
+  let workload = Workload.make [ (3, 1, 30); (0, 0, 0) ] topo in
+  let scheduled t = if t < 32 then Pset.remove 2 (Pset.range n) else Pset.range n in
+  let vanilla = run ~scheduled topo fp workload in
+  Alcotest.(check bool) "vanilla breaks ↝" true
+    (Properties.strict_ordering vanilla <> Ok ());
+  Alcotest.(check bool) "but keeps ↦ acyclic" true (Properties.ordering vanilla = Ok ());
+  let strict = run ~variant:Algorithm1.Strict ~scheduled topo fp workload in
+  Alcotest.(check bool) "strict variant repairs it" true
+    (Properties.strict_ordering strict = Ok ());
+  Alcotest.(check bool) "and still terminates" true
+    (Properties.termination strict = Ok ())
+
+
+let strict_indicator_escape () =
+  (* §6.1 sufficiency, failure side: once g∩h has crashed, the strict
+     stable-wait falls back to 1^{g∩h} and deliveries resume. *)
+  let topo = Topology.chain ~groups:2 in
+  (* g0 = {0,1,2}, g1 = {2,3,4}; the whole intersection p2 dies early *)
+  let fp = Failure_pattern.of_crashes ~n:5 [ (2, 1) ] in
+  let workload = Workload.make [ (0, 0, 10); (3, 1, 12) ] topo in
+  let o = run ~variant:Algorithm1.Strict topo fp workload in
+  check_all o;
+  Alcotest.(check bool) "post-crash delivery at g0" true
+    (Trace.delivered_at o.Runner.trace ~p:0 ~m:0);
+  Alcotest.(check bool) "post-crash delivery at g1" true
+    (Trace.delivered_at o.Runner.trace ~p:3 ~m:1)
+
+(* ---------------- detector ablations ------------------------------ *)
+
+let lying_gamma_breaks_ordering () =
+  let topo = Topology.ring ~groups:3 in
+  let n = Topology.n topo in
+  let rec search seed =
+    if seed > 600 then false
+    else
+      let fp = Failure_pattern.never ~n in
+      let workload = Workload.random (Rng.make seed) ~msgs:4 ~max_at:3 topo in
+      let mu = Mu.gamma_lying (Mu.make ~seed topo fp) in
+      let o = run ~seed ~mu topo fp workload in
+      Properties.ordering o <> Ok () || search (seed + 1)
+  in
+  Alcotest.(check bool) "γ accuracy is load-bearing" true (search 1)
+
+let incomplete_gamma_blocks () =
+  let topo = Topology.ring ~groups:3 in
+  let n = Topology.n topo in
+  let fp = Failure_pattern.of_crashes ~n [ (4, 2) ] in
+  let workload = Workload.random (Rng.make 5) ~msgs:4 ~max_at:3 topo in
+  let mu = Mu.gamma_always (Mu.make ~seed:5 topo fp) in
+  let o = run ~seed:5 ~mu topo fp workload in
+  Alcotest.(check bool) "γ completeness is load-bearing" true
+    (Properties.termination o <> Ok ());
+  (* Safety is never lost, only progress. *)
+  Alcotest.(check bool) "safety intact" true
+    (Properties.ordering o = Ok () && Properties.integrity o = Ok ())
+
+let perfect_detector_suffices () =
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.of_crashes ~n:5 [ (1, 6) ] in
+  let workload = Workload.random (Rng.make 7) ~msgs:6 ~max_at:8 topo in
+  let mu = Derive.mu_of_perfect topo (Perfect.make ~seed:9 fp) in
+  check_all (run ~seed:7 ~mu topo fp workload)
+
+(* ---------------- group parallelism (§6.2) ------------------------- *)
+
+let group_parallelism_acyclic () =
+  let topo = Topology.chain ~groups:3 in
+  let fp = Failure_pattern.never ~n:(Topology.n topo) in
+  let workload = Workload.make [ (2, 1, 0) ] topo in
+  let dst = Topology.group topo 1 in
+  let o = run ~scheduled:(fun _ -> dst) topo fp workload in
+  Alcotest.(check bool) "delivered in a dst-fair run" true
+    (Pset.for_all (fun p -> Trace.delivered_at o.Runner.trace ~p ~m:0) dst)
+
+let group_parallelism_fails_on_cycle () =
+  let topo = Topology.ring ~groups:3 in
+  let fp = Failure_pattern.never ~n:(Topology.n topo) in
+  let workload = Workload.make [ (2, 1, 0); (0, 0, 10) ] topo in
+  let dst = Topology.group topo 0 in
+  let o = Runner.run ~seed:3 ~horizon:300 ~topo ~fp ~workload ~scheduled:(fun _ -> dst) () in
+  Alcotest.(check bool) "blocked behind the neighbour group" false
+    (Pset.for_all (fun p -> Trace.delivered_at o.Runner.trace ~p ~m:1) dst)
+
+(* ---------------- the end-to-end random property ------------------ *)
+
+let e2e_random =
+  QCheck.Test.make ~name:"e2e: random topology × workload × crashes × schedule"
+    ~count:120
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let topo = Topology.random rng ~n:7 ~groups:4 ~max_group_size:4 in
+      let fp =
+        Failure_pattern.random (Rng.split rng) ~n:7 ~max_faulty:2 ~horizon:25
+      in
+      let workload = Workload.random (Rng.split rng) ~msgs:6 ~max_at:20 topo in
+      let o = run ~seed topo fp workload in
+      let families = Topology.cyclic_families topo in
+      let gap =
+        Topology.blocking_edges topo families
+          ~crashed:(Failure_pattern.faulty fp)
+        <> []
+      in
+      (* Safety always; liveness except on the documented Lemma 25
+         multi-cycle corner (see DESIGN.md), where the paper-exact γ(g)
+         closure may block. *)
+      Properties.integrity o = Ok ()
+      && Properties.ordering o = Ok ()
+      && Properties.minimality o = Ok ()
+      && Properties.group_sequential o = Ok ()
+      && (gap || Properties.termination o = Ok ()))
+
+let e2e_claims =
+  QCheck.Test.make ~name:"e2e: Table 2 claims on instrumented random runs" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let topo = Topology.random rng ~n:6 ~groups:3 ~max_group_size:4 in
+      let fp =
+        Failure_pattern.random (Rng.split rng) ~n:6 ~max_faulty:1 ~horizon:15
+      in
+      let workload = Workload.random (Rng.split rng) ~msgs:4 ~max_at:10 topo in
+      let o = Runner.run ~seed ~record_snapshots:true ~topo ~fp ~workload () in
+      List.for_all (fun (_, v) -> v = Ok ()) (Claims.all o))
+
+let suite =
+  [
+    t "figure1, no crash" `Quick figure1_no_crash;
+    t "figure1, intersection crash" `Quick figure1_crash_intersection;
+    t "source crashes before invoking" `Quick crash_before_invoke;
+    t "helping after source crash" `Quick crash_after_invoke_helping;
+    t "singleton group" `Quick single_process_group;
+    t "broadcast regime (one big group)" `Quick broadcast_regime;
+    t "genuineness: zero steps if not addressed" `Quick genuineness_steps;
+    t "group-sequential pipelining" `Quick group_sequential_pipelining;
+    t "phase machine (claim 14)" `Quick phase_machine;
+    t "consensus instances bounded" `Quick consensus_keys;
+    t "§6.1 strictness witness" `Quick vanilla_strict_violation_witness;
+    t "§6.1 indicator escape after crash" `Quick strict_indicator_escape;
+    t "ablation: lying γ breaks ordering" `Slow lying_gamma_breaks_ordering;
+    t "ablation: incomplete γ blocks" `Quick incomplete_gamma_blocks;
+    t "P-derived μ suffices" `Quick perfect_detector_suffices;
+    t "group parallelism on F = ∅" `Quick group_parallelism_acyclic;
+    t "group parallelism fails on cycles" `Quick group_parallelism_fails_on_cycle;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ strict_holds_under_crashes; pairwise_holds; e2e_random; e2e_claims ]

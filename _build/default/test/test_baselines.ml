@@ -1,0 +1,87 @@
+let t = Alcotest.test_case
+
+let broadcast_correct_not_genuine () =
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.of_crashes ~n:5 [ (1, 6) ] in
+  let workload = Workload.random (Rng.make 3) ~msgs:6 ~max_at:8 topo in
+  let o = Broadcast.run ~topo ~fp ~workload () in
+  Alcotest.(check bool) "integrity" true (Properties.integrity o = Ok ());
+  Alcotest.(check bool) "termination" true (Properties.termination o = Ok ());
+  Alcotest.(check bool) "ordering" true (Properties.ordering o = Ok ());
+  Alcotest.(check bool) "strict ordering too (total order)" true
+    (Properties.strict_ordering o = Ok ());
+  Alcotest.(check bool) "NOT minimal" true (Properties.minimality o <> Ok ())
+
+let broadcast_steps_grow () =
+  let steps k =
+    let topo = Topology.disjoint ~groups:k ~size:3 in
+    let fp = Failure_pattern.never ~n:(Topology.n topo) in
+    let workload = Workload.one_per_group topo in
+    let o = Broadcast.run ~topo ~fp ~workload () in
+    (* every process processes every message *)
+    Array.fold_left ( + ) 0 o.Runner.stats.Engine.steps / Topology.n topo
+  in
+  Alcotest.(check bool) "per-process cost grows with group count" true
+    (steps 16 > 2 * steps 2)
+
+let skeen_failure_free () =
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.never ~n:5 in
+  let workload = Workload.random (Rng.make 11) ~msgs:7 ~max_at:6 topo in
+  let o = Skeen.run ~topo ~fp ~workload () in
+  Alcotest.(check bool) "integrity" true (Properties.integrity o = Ok ());
+  Alcotest.(check bool) "termination" true (Properties.termination o = Ok ());
+  Alcotest.(check bool) "ordering" true (Properties.ordering o = Ok ());
+  Alcotest.(check bool) "minimality" true (Properties.minimality o = Ok ())
+
+let skeen_random =
+  QCheck.Test.make ~name:"Skeen: ordering on random failure-free runs" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let topo = Topology.ring ~groups:3 in
+      let fp = Failure_pattern.never ~n:(Topology.n topo) in
+      let workload = Workload.random (Rng.make seed) ~msgs:6 ~max_at:4 topo in
+      let o = Skeen.run ~seed ~topo ~fp ~workload () in
+      Properties.ordering o = Ok ()
+      && Properties.integrity o = Ok ()
+      && Properties.termination o = Ok ())
+
+let skeen_blocks_on_crash () =
+  (* One crashed destination member stalls every message to its groups:
+     the reason [36] needs P and the paper needs μ. *)
+  let topo = Topology.figure1 in
+  let fp = Failure_pattern.of_crashes ~n:5 [ (1, 0) ] in
+  let workload = Workload.make [ (0, 0, 2) ] topo in
+  let o = Skeen.run ~topo ~fp ~workload () in
+  Alcotest.(check bool) "blocked" true (Properties.termination o <> Ok ());
+  (* while Algorithm 1 delivers on the same scenario *)
+  let o = Runner.run ~topo ~fp ~workload () in
+  Alcotest.(check bool) "Algorithm 1 delivers" true (Properties.termination o = Ok ())
+
+let partitioned_disjoint_only () =
+  let topo = Topology.disjoint ~groups:4 ~size:3 in
+  let fp = Failure_pattern.of_crashes ~n:12 [ (5, 3) ] in
+  let workload = Workload.random (Rng.make 13) ~msgs:8 ~max_at:6 topo in
+  let o = Partitioned.run ~topo ~fp ~workload () in
+  Alcotest.(check bool) "integrity" true (Properties.integrity o = Ok ());
+  Alcotest.(check bool) "termination" true (Properties.termination o = Ok ());
+  Alcotest.(check bool) "ordering" true (Properties.ordering o = Ok ());
+  Alcotest.(check bool) "minimality" true (Properties.minimality o = Ok ());
+  Alcotest.check_raises "rejects intersecting groups"
+    (Invalid_argument
+       "Partitioned.run: the decomposition baseline needs pairwise-disjoint groups")
+    (fun () ->
+      ignore
+        (Partitioned.run ~topo:Topology.figure1
+           ~fp:(Failure_pattern.never ~n:5)
+           ~workload:[] ()))
+
+let suite =
+  [
+    t "broadcast: correct but not genuine" `Quick broadcast_correct_not_genuine;
+    t "broadcast: per-process cost grows" `Quick broadcast_steps_grow;
+    t "skeen: failure-free correctness" `Quick skeen_failure_free;
+    t "skeen: blocks under a crash" `Quick skeen_blocks_on_crash;
+    t "partitioned: disjoint regime" `Quick partitioned_disjoint_only;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ skeen_random ]

@@ -1,0 +1,109 @@
+let t = Alcotest.test_case
+
+let outcome = Alcotest.testable Floodset.pp_outcome ( = )
+
+let two_proc_sim ?(p2_faulty = false) () =
+  Floodset.create ~procs:2 ~rounds:2
+    ~samples:[| [| false; false |]; [| false; p2_faulty |] |]
+
+let floodset_solo_run () =
+  (* Both processes propose G; any fair completion decides G. *)
+  let sim = two_proc_sim () in
+  let cfg = Floodset.initial sim ~inputs:[| Floodset.G; Floodset.G |] in
+  Alcotest.(check bool) "undecided initially" true (Floodset.decided sim cfg = None);
+  (* drive deterministically: always apply the first enabled step *)
+  let rec drive cfg n =
+    if n = 0 then cfg
+    else
+      match Floodset.enabled sim cfg with
+      | [] -> cfg
+      | s :: _ -> drive (Floodset.apply sim cfg s) (n - 1)
+  in
+  let final = drive cfg 50 in
+  Alcotest.(check (option outcome)) "decides G" (Some Floodset.G)
+    (Floodset.decided sim final)
+
+let floodset_validity () =
+  (* all-H inputs can only decide H *)
+  let sim = two_proc_sim ~p2_faulty:true () in
+  let cfg = Floodset.initial sim ~inputs:[| Floodset.H; Floodset.H |] in
+  Alcotest.(check (list outcome)) "tags are {h}" [ Floodset.H ]
+    (Cht_extract.tags sim cfg)
+
+let floodset_monotone_samples () =
+  Alcotest.check_raises "suspicions must grow"
+    (Invalid_argument "Floodset.create: suspicions must be monotone") (fun () ->
+      ignore
+        (Floodset.create ~procs:2 ~rounds:2
+           ~samples:[| [| true; false |]; [| false; false |] |]))
+
+let floodset_crashed_cannot_step () =
+  let sim = two_proc_sim ~p2_faulty:true () in
+  let cfg = Floodset.initial sim ~inputs:[| Floodset.G; Floodset.H |] in
+  (* force sample level 1: process 1 is suspected there *)
+  let s1 =
+    List.find (fun s -> s.Floodset.sample = 1) (Floodset.enabled sim cfg)
+  in
+  let cfg1 = Floodset.apply sim cfg s1 in
+  Alcotest.(check bool) "no step of the crashed process at level 1" true
+    (List.for_all (fun s -> s.Floodset.proc <> 1) (Floodset.enabled sim cfg1))
+
+let tags_bivalence () =
+  (* Mixed inputs with a failure-prone process: both outcomes reachable. *)
+  let sim = two_proc_sim ~p2_faulty:true () in
+  let cfg = Floodset.initial sim ~inputs:[| Floodset.H; Floodset.G |] in
+  Alcotest.(check (list outcome)) "bivalent" [ Floodset.G; Floodset.H ]
+    (Cht_extract.tags sim cfg);
+  (* Without the failure, the full exchange always sees G. *)
+  let sim = two_proc_sim () in
+  let cfg = Floodset.initial sim ~inputs:[| Floodset.H; Floodset.G |] in
+  Alcotest.(check (list outcome)) "univalent G" [ Floodset.G ]
+    (Cht_extract.tags sim cfg)
+
+let topo2 = lazy
+  (Topology.create ~n:4 [ Pset.of_list [ 0; 1; 2 ]; Pset.of_list [ 1; 2; 3 ] ])
+
+let extract_returns_correct_member =
+  QCheck.Test.make ~name:"extraction returns a correct member of g∩h" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let topo = Lazy.force topo2 in
+      let rng = Rng.make seed in
+      let fp =
+        (* crash at most one of the two intersection members *)
+        match Rng.int rng 3 with
+        | 0 -> Failure_pattern.never ~n:4
+        | 1 -> Failure_pattern.of_crashes ~n:4 [ (1, Rng.int rng 10) ]
+        | _ -> Failure_pattern.of_crashes ~n:4 [ (2, Rng.int rng 10) ]
+      in
+      let v = Cht_extract.extract ~topo ~fp ~g:0 ~h:1 () in
+      let l = Cht_extract.leader_of v in
+      Pset.mem l (Pset.of_list [ 1; 2 ])
+      && Failure_pattern.is_correct fp l)
+
+let extract_three_member_intersection () =
+  let topo =
+    Topology.create ~n:5 [ Pset.of_list [ 0; 1; 2; 3 ]; Pset.of_list [ 1; 2; 3; 4 ] ]
+  in
+  (* two of the three intersection members crash: only p3 can lead *)
+  let fp = Failure_pattern.of_crashes ~n:5 [ (1, 2); (2, 4) ] in
+  let v = Cht_extract.extract ~topo ~fp ~g:0 ~h:1 () in
+  Alcotest.(check int) "survivor leads" 3 (Cht_extract.leader_of v)
+
+let extract_validation () =
+  Alcotest.check_raises "empty intersection"
+    (Invalid_argument "Cht_extract: empty intersection") (fun () ->
+      let topo = Topology.disjoint ~groups:2 ~size:3 in
+      ignore (Cht_extract.extract ~topo ~fp:(Failure_pattern.never ~n:6) ~g:0 ~h:1 ()))
+
+let suite =
+  [
+    t "floodset solo run decides" `Quick floodset_solo_run;
+    t "floodset validity" `Quick floodset_validity;
+    t "floodset sample monotonicity" `Quick floodset_monotone_samples;
+    t "crashed process cannot step" `Quick floodset_crashed_cannot_step;
+    t "valency tags" `Quick tags_bivalence;
+    t "three-member intersection" `Slow extract_three_member_intersection;
+    t "input validation" `Quick extract_validation;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ extract_returns_correct_member ]

@@ -1,0 +1,164 @@
+let t = Alcotest.test_case
+
+(* -------------------- the log object (§4.3) ----------------------- *)
+
+let log_basics () =
+  let l = Log.create ~compare:Int.compare in
+  Alcotest.(check int) "initial head" 1 (Log.head l);
+  Alcotest.(check int) "append at head" 1 (Log.append l 10);
+  Alcotest.(check int) "second append" 2 (Log.append l 20);
+  Alcotest.(check int) "idempotent append" 1 (Log.append l 10);
+  Alcotest.(check int) "pos absent" 0 (Log.pos l 99);
+  Alcotest.(check bool) "mem" true (Log.mem l 10);
+  Alcotest.(check bool) "order" true (Log.lt l 10 20);
+  Alcotest.(check (list int)) "entries" [ 10; 20 ] (Log.entries l);
+  Alcotest.(check (list int)) "before" [ 10 ] (Log.before l 20)
+
+let log_bump () =
+  let l = Log.create ~compare:Int.compare in
+  ignore (Log.append l 1);
+  ignore (Log.append l 2);
+  (* claim 3/5: bump only raises, lock freezes *)
+  Log.bump_and_lock l 1 5;
+  Alcotest.(check int) "bumped" 5 (Log.pos l 1);
+  Alcotest.(check bool) "locked" true (Log.locked l 1);
+  Log.bump_and_lock l 1 9;
+  Alcotest.(check int) "frozen after lock" 5 (Log.pos l 1);
+  (* bump below current keeps the max *)
+  Log.bump_and_lock l 2 1;
+  Alcotest.(check int) "max(k, current)" 2 (Log.pos l 2);
+  (* claim 7: a fresh append lands above every locked datum *)
+  Alcotest.(check int) "head past bump" 6 (Log.append l 3);
+  Alcotest.(check bool) "locked below fresh" true (Log.lt l 1 3);
+  Alcotest.check_raises "bump absent"
+    (Invalid_argument "Log.bump_and_lock: datum not in the log") (fun () ->
+      Log.bump_and_lock l 42 1)
+
+let log_slot_sharing () =
+  let l = Log.create ~compare:Int.compare in
+  ignore (Log.append l 7);
+  ignore (Log.append l 3);
+  (* bump 3 into 7's slot: tie broken by the a-priori order *)
+  Log.bump_and_lock l 7 2;
+  Alcotest.(check int) "same slot" (Log.pos l 7) (Log.pos l 3);
+  Alcotest.(check bool) "tie by datum order" true (Log.lt l 3 7);
+  Alcotest.(check (list int)) "entries sorted" [ 3; 7 ] (Log.entries l)
+
+(* Random op sequences preserve the Table 2 log laws. *)
+let log_laws =
+  QCheck.Test.make ~name:"log laws under random ops (claims 2-8)" ~count:100
+    QCheck.(small_list (pair (int_range 0 8) (int_range 0 10)))
+    (fun ops ->
+      let l = Log.create ~compare:Int.compare in
+      List.for_all
+        (fun (d, k) ->
+          let before_pos = Log.pos l d in
+          let before_locked = Log.locked l d in
+          let before_entries = Log.entries l in
+          (if k = 0 || not (Log.mem l d) then ignore (Log.append l d)
+           else Log.bump_and_lock l d k);
+          let ok_monotone = Log.pos l d >= before_pos in
+          let ok_lock = (not before_locked) || Log.pos l d = before_pos in
+          let ok_presence = List.for_all (Log.mem l) before_entries in
+          ok_monotone && ok_lock && ok_presence)
+        ops)
+
+(* -------------------- consensus objects --------------------------- *)
+
+let consensus_table () =
+  let c = Consensus_table.create () in
+  Alcotest.(check int) "first proposal decides" 5 (Consensus_table.propose c "k" 5);
+  Alcotest.(check int) "later proposals adopt" 5 (Consensus_table.propose c "k" 9);
+  Alcotest.(check (option int)) "decided" (Some 5) (Consensus_table.decided c "k");
+  Alcotest.(check (option int)) "other instance" None (Consensus_table.decided c "k2");
+  Alcotest.(check int) "instances" 1 (Consensus_table.instances c)
+
+let adopt_commit_spec () =
+  let ac = Adopt_commit.create () in
+  Alcotest.(check bool) "solo commit" true (Adopt_commit.propose ac 1 = `Commit 1);
+  Alcotest.(check bool) "same value commits" true (Adopt_commit.propose ac 1 = `Commit 1);
+  Alcotest.(check bool) "conflicting adopts first" true
+    (Adopt_commit.propose ac 2 = `Adopt 1);
+  Alcotest.(check bool) "conflict is sticky" true (Adopt_commit.propose ac 1 = `Adopt 1);
+  Alcotest.(check int) "proposals counted" 4 (Adopt_commit.proposals ac)
+
+let adopt_commit_laws =
+  QCheck.Test.make ~name:"adopt-commit coherence and validity" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 6) (int_range 0 3))
+    (fun proposals ->
+      let ac = Adopt_commit.create () in
+      let outs = List.map (fun v -> (v, Adopt_commit.propose ac v)) proposals in
+      let value = function `Commit v | `Adopt v -> v in
+      let committed =
+        List.filter_map (function _, `Commit v -> Some v | _ -> None) outs
+      in
+      (* validity: every output value was proposed *)
+      List.for_all (fun (_, o) -> List.mem (value o) proposals) outs
+      (* coherence: all outputs carry the committed value, if any *)
+      && (match committed with
+         | [] -> true
+         | v :: _ -> List.for_all (fun (_, o) -> value o = v) outs)
+      (* convergence: unanimous proposals all commit *)
+      && (match proposals with
+         | v :: rest when List.for_all (( = ) v) rest ->
+             List.for_all (fun (_, o) -> o = `Commit v) outs
+         | _ -> true))
+
+(* -------------------- simulation engine --------------------------- *)
+
+let engine_determinism () =
+  let run seed =
+    let counter = ref [] in
+    let fp = Failure_pattern.of_crashes ~n:3 [ (1, 4) ] in
+    let step ~pid ~time =
+      if List.length !counter < 12 && (pid + time) mod 3 <> 0 then begin
+        counter := (pid, time) :: !counter;
+        true
+      end
+      else false
+    in
+    let stats = Engine.run ~fp ~horizon:30 ~quiesce_after:6 ~seed ~step () in
+    (!counter, stats.Engine.steps)
+  in
+  Alcotest.(check bool) "same seed, same run" true (run 5 = run 5);
+  Alcotest.(check bool) "different seed, different interleaving" true
+    (fst (run 5) <> fst (run 6) || fst (run 5) = [])
+
+let engine_crash_and_schedule () =
+  let fp = Failure_pattern.of_crashes ~n:3 [ (2, 5) ] in
+  let stepped = Array.make 3 0 in
+  let step ~pid ~time =
+    ignore time;
+    stepped.(pid) <- stepped.(pid) + 1;
+    true
+  in
+  let stats =
+    Engine.run ~fp ~horizon:20 ~quiesce_after:20
+      ~scheduled:(fun _ -> Pset.of_list [ 0; 2 ])
+      ~step ()
+  in
+  Alcotest.(check int) "p1 never scheduled" 0 stepped.(1);
+  Alcotest.(check int) "p0 every tick" 21 stepped.(0);
+  Alcotest.(check int) "p2 until its crash" 5 stepped.(2);
+  Alcotest.(check bool) "no quiescence while stepping" false stats.Engine.quiescent
+
+let engine_quiescence () =
+  let fp = Failure_pattern.never ~n:2 in
+  let stats =
+    Engine.run ~fp ~horizon:1000 ~quiesce_after:7 ~step:(fun ~pid:_ ~time:_ -> false) ()
+  in
+  Alcotest.(check bool) "stops at quiesce_after" true (stats.Engine.ticks_used <= 8);
+  Alcotest.(check bool) "reported quiescent" true stats.Engine.quiescent
+
+let suite =
+  [
+    t "log basics" `Quick log_basics;
+    t "log bump and lock" `Quick log_bump;
+    t "log slot sharing" `Quick log_slot_sharing;
+    t "consensus table" `Quick consensus_table;
+    t "adopt-commit spec" `Quick adopt_commit_spec;
+    t "engine determinism" `Quick engine_determinism;
+    t "engine crash & schedule" `Quick engine_crash_and_schedule;
+    t "engine quiescence" `Quick engine_quiescence;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ log_laws; adopt_commit_laws ]

@@ -1,0 +1,80 @@
+let t = Alcotest.test_case
+
+let set = Alcotest.testable Pset.pp Pset.equal
+
+let basics () =
+  Alcotest.(check bool) "empty is empty" true (Pset.is_empty Pset.empty);
+  Alcotest.(check int) "card singleton" 1 (Pset.cardinal (Pset.singleton 5));
+  Alcotest.(check bool) "mem" true (Pset.mem 5 (Pset.singleton 5));
+  Alcotest.(check bool) "not mem" false (Pset.mem 4 (Pset.singleton 5));
+  Alcotest.(check (list int)) "range" [ 0; 1; 2 ] (Pset.to_list (Pset.range 3));
+  Alcotest.check set "add twice" (Pset.singleton 3) (Pset.add 3 (Pset.singleton 3));
+  Alcotest.check set "remove" Pset.empty (Pset.remove 3 (Pset.singleton 3));
+  Alcotest.check set "remove absent" (Pset.singleton 3) (Pset.remove 7 (Pset.singleton 3))
+
+let large_ids () =
+  (* beyond one machine word *)
+  let s = Pset.of_list [ 0; 62; 63; 100; 200 ] in
+  Alcotest.(check int) "cardinal" 5 (Pset.cardinal s);
+  Alcotest.(check (list int)) "sorted" [ 0; 62; 63; 100; 200 ] (Pset.to_list s);
+  Alcotest.(check bool) "mem 200" true (Pset.mem 200 s);
+  Alcotest.check set "inter high" (Pset.singleton 200)
+    (Pset.inter s (Pset.of_list [ 150; 200 ]));
+  (* removing the top element must renormalise so equality stays structural *)
+  Alcotest.check set "normalised" (Pset.of_list [ 0; 1 ])
+    (Pset.remove 300 (Pset.add 1 (Pset.remove 200 (Pset.of_list [ 0; 200 ]))))
+
+let ops () =
+  let a = Pset.of_list [ 1; 2; 3 ] and b = Pset.of_list [ 3; 4 ] in
+  Alcotest.check set "union" (Pset.of_list [ 1; 2; 3; 4 ]) (Pset.union a b);
+  Alcotest.check set "inter" (Pset.singleton 3) (Pset.inter a b);
+  Alcotest.check set "diff" (Pset.of_list [ 1; 2 ]) (Pset.diff a b);
+  Alcotest.check set "sym_diff" (Pset.of_list [ 1; 2; 4 ]) (Pset.sym_diff a b);
+  Alcotest.(check bool) "subset" true (Pset.subset (Pset.singleton 2) a);
+  Alcotest.(check bool) "not subset" false (Pset.subset b a);
+  Alcotest.(check bool) "intersects" true (Pset.intersects a b);
+  Alcotest.(check bool) "disjoint" true (Pset.disjoint a (Pset.of_list [ 9 ]));
+  Alcotest.(check (option int)) "min_elt" (Some 1) (Pset.min_elt a);
+  Alcotest.(check (option int)) "min empty" None (Pset.min_elt Pset.empty);
+  Alcotest.(check int) "fold" 6 (Pset.fold ( + ) a 0);
+  Alcotest.check set "filter" (Pset.of_list [ 2 ]) (Pset.filter (fun p -> p mod 2 = 0) a)
+
+let gen_pset =
+  QCheck.map
+    (fun l -> Pset.of_list (List.map abs l))
+    QCheck.(small_list small_nat)
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"roundtrip of_list/to_list" ~count:200 gen_pset
+      (fun s -> Pset.equal s (Pset.of_list (Pset.to_list s)));
+    QCheck.Test.make ~name:"union commutative" ~count:200
+      (QCheck.pair gen_pset gen_pset) (fun (a, b) ->
+        Pset.equal (Pset.union a b) (Pset.union b a));
+    QCheck.Test.make ~name:"inter subset both" ~count:200
+      (QCheck.pair gen_pset gen_pset) (fun (a, b) ->
+        let i = Pset.inter a b in
+        Pset.subset i a && Pset.subset i b);
+    QCheck.Test.make ~name:"diff disjoint from subtrahend" ~count:200
+      (QCheck.pair gen_pset gen_pset) (fun (a, b) ->
+        Pset.disjoint (Pset.diff a b) b);
+    QCheck.Test.make ~name:"cardinal additive" ~count:200
+      (QCheck.pair gen_pset gen_pset) (fun (a, b) ->
+        Pset.cardinal (Pset.union a b) + Pset.cardinal (Pset.inter a b)
+        = Pset.cardinal a + Pset.cardinal b);
+    QCheck.Test.make ~name:"sym_diff = union minus inter" ~count:200
+      (QCheck.pair gen_pset gen_pset) (fun (a, b) ->
+        Pset.equal (Pset.sym_diff a b)
+          (Pset.diff (Pset.union a b) (Pset.inter a b)));
+    QCheck.Test.make ~name:"compare consistent with equal" ~count:200
+      (QCheck.pair gen_pset gen_pset) (fun (a, b) ->
+        Pset.equal a b = (Pset.compare a b = 0));
+  ]
+
+let suite =
+  [
+    t "basics" `Quick basics;
+    t "large ids" `Quick large_ids;
+    t "set operations" `Quick ops;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props
