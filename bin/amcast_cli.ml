@@ -171,6 +171,136 @@ let run_cmd =
        $ variant_arg))
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_arg =
+  let ablations =
+    [
+      ("none", Scenario.Full);
+      ("gamma", Scenario.Lying_gamma);
+      ("gamma-always", Scenario.Always_gamma);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum ablations) Scenario.Full
+    & info [ "ablate" ] ~docv:"COMPONENT"
+        ~doc:
+          "Weaken the detector: $(b,gamma) replaces γ with a lying \
+           (complete, inaccurate) detector, $(b,gamma-always) with an \
+           accurate but incomplete one. Violations are then the expected \
+           outcome.")
+
+let trials_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "trials" ] ~docv:"N" ~doc:"Number of scenarios to explore.")
+
+let minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "minimize" ]
+        ~doc:"Shrink the first violation to a local minimum before reporting.")
+
+let corpus_arg =
+  Arg.(
+    value & opt string "corpus"
+    & info [ "corpus" ] ~docv:"DIR" ~doc:"Corpus directory for --save/--replay.")
+
+let save_arg =
+  Arg.(
+    value & flag
+    & info [ "save" ]
+        ~doc:
+          "Write the (minimized) violation into the corpus as a replayable \
+           $(b,.scenario) file.")
+
+let replay_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Replay one $(b,.scenario) file instead of fuzzing.")
+
+let print_violation ~minimize v =
+  Format.printf "trial %d VIOLATED: %s@.@.%s@." v.Fuzz_driver.trial
+    v.Fuzz_driver.failure
+    (Scenario.to_string v.Fuzz_driver.scenario);
+  match v.Fuzz_driver.minimized with
+  | Some (m, stats) when minimize ->
+      Format.printf "minimized (%d shrink steps, %d re-runs):@.@.%s@."
+        stats.Shrinker.steps stats.Shrinker.checks (Scenario.to_string m)
+  | _ -> ()
+
+let replay_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Scenario.of_string text with
+  | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+  | Ok s -> (
+      Format.printf "%s" (Scenario.to_string s);
+      match Scenario.check s with
+      | Ok () ->
+          Format.printf "@.check: ok@.";
+          Ok ()
+      | Error e ->
+          Format.printf "@.check: VIOLATED: %s@." e;
+          if Corpus.expected_failing (Filename.basename path) then Ok ()
+          else Error (`Msg "unexpected violation"))
+
+let fuzz trials seed variant ablation minimize corpus save replay =
+  match replay with
+  | Some path -> replay_file path
+  | None -> (
+      let cfg =
+        Scenario_gen.for_ablation ablation
+          { Scenario_gen.default with variants = [ variant ] }
+      in
+      let report =
+        Fuzz_driver.fuzz ~minimize ~stop_at_first:true ~trials ~seed cfg
+      in
+      Format.printf "fuzz: %d trial(s), %d violation(s)@." report.trials
+        (List.length report.Fuzz_driver.violations);
+      List.iter (print_violation ~minimize) report.Fuzz_driver.violations;
+      (match report.Fuzz_driver.violations with
+      | { minimized; scenario; trial; _ } :: _ when save ->
+          let min_s =
+            match minimized with Some (m, _) -> m | None -> scenario
+          in
+          let name =
+            Printf.sprintf "%s-seed%d-trial%d.fail"
+              (match ablation with
+              | Scenario.Full -> "full"
+              | Scenario.Lying_gamma -> "lying-gamma"
+              | Scenario.Always_gamma -> "always-gamma")
+              seed trial
+          in
+          let path = Corpus.save ~dir:corpus ~name min_s in
+          Format.printf "saved %s@." path
+      | _ -> ());
+      (* A fuzz run succeeds when its outcome matches the expectation:
+         the full detector finds nothing, an ablated one witnesses a
+         violation. *)
+      let expect_violation = ablation <> Scenario.Full in
+      let found = report.Fuzz_driver.violations <> [] in
+      if found = expect_violation then Ok ()
+      else if found then Error (`Msg "violation found with the full detector μ")
+      else Error (`Msg "ablated detector: no violation found; raise --trials"))
+
+let fuzz_cmd =
+  let doc =
+    "Explore random scenarios, check the multicast specification, and \
+     minimize counterexamples."
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      term_result
+        (const fuzz $ trials_arg $ seed_arg $ variant_arg $ ablation_arg
+       $ minimize_arg $ corpus_arg $ save_arg $ replay_arg))
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -213,6 +343,6 @@ let experiment_cmd =
 let main_cmd =
   let doc = "genuine atomic multicast and its weakest failure detector" in
   let info = Cmd.info "amcast_cli" ~version:"1.0.0" ~doc in
-  Cmd.group info [ analyze_cmd; run_cmd; experiment_cmd ]
+  Cmd.group info [ analyze_cmd; run_cmd; fuzz_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,34 @@
+let suffix = ".scenario"
+
+let has_suffix s suf =
+  let ls = String.length s and lsuf = String.length suf in
+  ls >= lsuf && String.sub s (ls - lsuf) lsuf = suf
+
+let contains s sub =
+  let ls = String.length s and lsub = String.length sub in
+  let rec at i = i + lsub <= ls && (String.sub s i lsub = sub || at (i + 1)) in
+  at 0
+
+let expected_failing name = contains name ".fail."
+
+let load ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> has_suffix f suffix)
+    |> List.sort compare
+    |> List.map (fun f ->
+           let ic = open_in_bin (Filename.concat dir f) in
+           let len = in_channel_length ic in
+           let text = really_input_string ic len in
+           close_in ic;
+           (f, Scenario.of_string text))
+
+let save ~dir ~name s =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let name = if has_suffix name suffix then name else name ^ suffix in
+  let path = Filename.concat dir name in
+  let oc = open_out_bin path in
+  output_string oc (Scenario.to_string s);
+  close_out oc;
+  path

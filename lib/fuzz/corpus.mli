@@ -1,0 +1,18 @@
+(** Regression corpus of scenarios on disk.
+
+    A corpus directory holds [*.scenario] files in the {!Scenario}
+    codec. Files whose name contains [".fail."] are minimized
+    counterexamples: replaying them must yield a violation. Every other
+    file is an interesting-but-passing scenario: replaying it must be
+    clean. [test/test_fuzz.ml] replays the committed corpus both ways. *)
+
+val expected_failing : string -> bool
+(** Judged from the filename (contains [".fail."]). *)
+
+val load : dir:string -> (string * (Scenario.t, string) result) list
+(** All [*.scenario] files of the directory, sorted by name, decoded.
+    Returns [[]] if the directory does not exist. *)
+
+val save : dir:string -> name:string -> Scenario.t -> string
+(** Write [name] (the [".scenario"] suffix is appended if missing)
+    into [dir], creating the directory if needed; returns the path. *)

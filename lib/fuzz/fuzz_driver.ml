@@ -1,0 +1,34 @@
+type violation = {
+  trial : int;
+  scenario : Scenario.t;
+  failure : string;
+  minimized : (Scenario.t * Shrinker.stats) option;
+}
+
+type report = { trials : int; violations : violation list }
+
+let scenario_of_trial ~seed cfg i =
+  (* One independent stream per trial, so a trial can be replayed
+     without re-running its predecessors. *)
+  Scenario_gen.scenario (Choice.of_rng (Rng.make ((seed * 1_000_003) + i))) cfg
+
+let fuzz ?(minimize = true) ?(stop_at_first = true) ?(max_shrink_checks = 500)
+    ?(on_trial = fun _ _ -> ()) ~trials ~seed cfg =
+  let rec loop i acc =
+    if i >= trials then { trials; violations = List.rev acc }
+    else
+      let s = scenario_of_trial ~seed cfg i in
+      on_trial i s;
+      match Scenario.check s with
+      | Ok () -> loop (i + 1) acc
+      | Error failure ->
+          let minimized =
+            if minimize then
+              Some (Shrinker.minimize ~max_checks:max_shrink_checks s)
+            else None
+          in
+          let v = { trial = i; scenario = s; failure; minimized } in
+          if stop_at_first then { trials = i + 1; violations = List.rev (v :: acc) }
+          else loop (i + 1) (v :: acc)
+  in
+  loop 0 []

@@ -1,0 +1,33 @@
+(** Bounded-trial fuzzing loop.
+
+    Deterministic: trial [i] of a run with seed [s] always explores the
+    same scenario, independent of every other trial. *)
+
+type violation = {
+  trial : int;
+  scenario : Scenario.t;  (** as generated *)
+  failure : string;  (** the failed checks of the generated scenario *)
+  minimized : (Scenario.t * Shrinker.stats) option;
+}
+
+type report = {
+  trials : int;  (** trials actually executed *)
+  violations : violation list;  (** oldest first *)
+}
+
+val scenario_of_trial : seed:int -> Scenario_gen.config -> int -> Scenario.t
+(** The scenario explored by trial [i]. *)
+
+val fuzz :
+  ?minimize:bool ->
+  ?stop_at_first:bool ->
+  ?max_shrink_checks:int ->
+  ?on_trial:(int -> Scenario.t -> unit) ->
+  trials:int ->
+  seed:int ->
+  Scenario_gen.config ->
+  report
+(** Generate and {!Scenario.check} [trials] scenarios. With
+    [stop_at_first] (default [true]) the loop ends at the first
+    violation; with [minimize] (default [true]) each collected
+    violation is run through {!Shrinker.minimize}. *)

@@ -1,0 +1,121 @@
+type config = {
+  max_n : int;
+  max_groups : int;
+  max_group_size : int;
+  min_msgs : int;
+  max_msgs : int;
+  min_crashes : int;
+  max_crashes : int;
+  max_at : int;
+  max_crash_time : int;
+  variants : Algorithm1.variant list;
+  ablation : Scenario.ablation;
+  starvation : bool;
+  cyclic_only : bool;
+}
+
+let default =
+  {
+    max_n = 7;
+    max_groups = 4;
+    max_group_size = 4;
+    min_msgs = 1;
+    max_msgs = 6;
+    min_crashes = 0;
+    max_crashes = 2;
+    max_at = 20;
+    max_crash_time = 25;
+    variants = [ Algorithm1.Vanilla ];
+    ablation = Scenario.Full;
+    starvation = true;
+    cyclic_only = false;
+  }
+
+let for_ablation ablation cfg =
+  let cfg = { cfg with ablation; cyclic_only = true; starvation = false } in
+  match ablation with
+  | Scenario.Full -> { cfg with cyclic_only = false; starvation = true }
+  | Scenario.Lying_gamma ->
+      (* Ordering cycles need concurrent messages racing around a cyclic
+         family; crashes only get in the way. *)
+      { cfg with min_msgs = 4; max_at = 2; min_crashes = 0; max_crashes = 0 }
+  | Scenario.Always_gamma ->
+      (* Termination starves once a family is faulty: crash early. *)
+      { cfg with min_crashes = 1; max_at = 3; max_crash_time = 8 }
+
+let groups_of_topology topo =
+  (Topology.n topo, List.map (Topology.group topo) (Topology.gids topo))
+
+(* Random groups over [0, n): distinct, non-empty, of bounded size.
+   Duplicate draws are perturbed rather than redrawn so that the number
+   of choices consumed stays a function of the counts alone. *)
+let random_groups c ~n ~groups ~max_group_size =
+  let draw_group () =
+    let size = Choice.range c 1 (min n max_group_size) in
+    let rec fill acc k =
+      if k = 0 then acc else fill (Pset.add (Choice.int c n) acc) (k - 1)
+    in
+    fill Pset.empty size
+  in
+  let distinct_from acc g =
+    let rec bump g p =
+      if p >= n then g
+      else if List.exists (Pset.equal (Pset.add p g)) acc then bump g (p + 1)
+      else Pset.add p g
+    in
+    if List.exists (Pset.equal g) acc then bump g 0 else g
+  in
+  let rec loop acc k =
+    if k = 0 then List.rev acc
+    else
+      let g = distinct_from acc (draw_group ()) in
+      if List.exists (Pset.equal g) acc then loop acc (k - 1)
+      else loop (g :: acc) (k - 1)
+  in
+  loop [ draw_group () ] (groups - 1)
+
+let topology c cfg =
+  if cfg.cyclic_only then
+    (* The shapes with cyclic families, where γ is load-bearing; small
+       rings dominate because their single family is easiest to race. *)
+    match Choice.int c 4 with
+    | 0 | 1 -> groups_of_topology (Topology.ring ~groups:3)
+    | 2 -> groups_of_topology Topology.figure1
+    | _ -> groups_of_topology (Topology.ring ~groups:4)
+  else
+    match Choice.int c 8 with
+    | 0 -> groups_of_topology Topology.figure1
+    | 1 -> groups_of_topology (Topology.ring ~groups:3)
+    | 2 -> groups_of_topology (Topology.ring ~groups:(Choice.range c 3 4))
+    | 3 -> groups_of_topology (Topology.chain ~groups:(Choice.range c 1 3))
+    | _ ->
+        let n = Choice.range c 3 (max 3 cfg.max_n) in
+        let groups = Choice.range c 2 (max 2 cfg.max_groups) in
+        (n, random_groups c ~n ~groups ~max_group_size:cfg.max_group_size)
+
+let scenario c cfg =
+  let n, groups = topology c cfg in
+  let k = List.length groups in
+  let crashes =
+    List.init (Choice.range c cfg.min_crashes (max cfg.min_crashes cfg.max_crashes))
+      (fun _ -> (Choice.int c n, Choice.int c (max 1 cfg.max_crash_time)))
+  in
+  let msgs =
+    List.init (Choice.range c (max 1 cfg.min_msgs) (max cfg.min_msgs (max 1 cfg.max_msgs)))
+      (fun _ ->
+        let dst = Choice.int c k in
+        let members = Pset.to_list (List.nth groups dst) in
+        let src = Choice.pick c members in
+        (src, dst, Choice.int c (max 1 cfg.max_at)))
+  in
+  let variant = Choice.pick c cfg.variants in
+  let schedule =
+    if cfg.starvation && Choice.int c 4 = 0 then
+      Scenario.Starve
+        { p = Choice.int c n; from_ = Choice.int c 30; len = Choice.range c 5 40 }
+    else Scenario.Free
+  in
+  let max_delay = if Choice.int c 4 = 0 then Choice.range c 1 8 else 5 in
+  let seed = Choice.int c 1_000_000 in
+  Scenario.make ~crashes ~msgs ~variant ~ablation:cfg.ablation ~schedule
+    ~max_delay ~seed ~n groups

@@ -1,0 +1,44 @@
+(** Structured scenario generation from a replayable choice stream.
+
+    Every decision (topology shape, group membership, crashes, workload,
+    variant, schedule) is drawn through a {!Choice.t}, so a generated
+    scenario can be reproduced either from its recorded choices or —
+    since scenarios carry a full codec — from its textual form. This
+    replaces opaque-integer-seed generation: a failing property prints
+    the scenario itself. *)
+
+type config = {
+  max_n : int;  (** universe bound for random topologies *)
+  max_groups : int;
+  max_group_size : int;
+  min_msgs : int;
+  max_msgs : int;  (** at least one message is always generated *)
+  min_crashes : int;
+  max_crashes : int;
+  max_at : int;  (** invocation ticks drawn in [0, max_at) *)
+  max_crash_time : int;
+  variants : Algorithm1.variant list;  (** uniform choice among these *)
+  ablation : Scenario.ablation;
+  starvation : bool;  (** allow windows where one process is unscheduled *)
+  cyclic_only : bool;  (** restrict to topologies with cyclic families *)
+}
+
+val default : config
+(** Mirrors the historical [e2e_random] envelope: universes up to 7
+    processes, 4 groups, 6 messages, 2 crashes, vanilla variant, full
+    detector, starvation windows on. *)
+
+val for_ablation : Scenario.ablation -> config -> config
+(** Narrow the envelope to where the weakened detector is actually
+    load-bearing — cyclic topologies, and concurrent messages
+    (γ accuracy) or early crashes (γ completeness) — so a bounded fuzz
+    run witnesses the violation quickly. [Full] restores the default
+    exploration envelope. *)
+
+val topology : Choice.t -> config -> int * Pset.t list
+(** [(n, groups)]: drawn from a mix of the canned shapes (figure1,
+    rings, chains — the cyclic-family-rich ones) and fresh random
+    topologies within the config bounds. *)
+
+val scenario : Choice.t -> config -> Scenario.t
+(** A valid scenario ([Scenario.validate] holds by construction). *)

@@ -1,0 +1,27 @@
+(** Counterexample minimization by semantic moves.
+
+    Unlike seed-level shrinking (which explores unrelated scenarios),
+    every move here makes the scenario strictly simpler while keeping it
+    well-formed: drop a message, un-crash a process, lower a crash time
+    or invocation tick, remove a destination group (remapping the
+    workload), shrink group membership, trim unused processes, relax the
+    schedule, lower the detector latency. {!minimize} greedily applies
+    moves while the scenario keeps failing {!Scenario.check}, down to a
+    local minimum. *)
+
+val candidates : Scenario.t -> Scenario.t list
+(** All single-move simplifications of the scenario, most aggressive
+    first. Every candidate satisfies [Scenario.validate]. *)
+
+type stats = { steps : int;  (** accepted moves *) checks : int }
+
+val minimize :
+  ?max_checks:int ->
+  ?still_failing:(Scenario.t -> bool) ->
+  Scenario.t ->
+  Scenario.t * stats
+(** Greedy descent: repeatedly adopt the first candidate on which
+    [still_failing] holds (default: [Scenario.check] returns [Error]),
+    until none does or [max_checks] (default 500) re-runs were spent.
+    If the input scenario itself is not failing it is returned
+    unchanged. *)

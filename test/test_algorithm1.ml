@@ -256,44 +256,43 @@ let group_parallelism_fails_on_cycle () =
 
 (* ---------------- the end-to-end random property ------------------ *)
 
+(* Scenarios are generated structurally (lib/fuzz) rather than from an
+   opaque integer seed: a failing run prints the whole scenario — its
+   topology, crashes, workload and schedule — and QCheck shrinking uses
+   the semantic moves of [Shrinker], not seed perturbation. *)
+
+let scenario_arb cfg =
+  QCheck.make ~print:Scenario.to_string
+    ~shrink:(fun s yield -> List.iter yield (Shrinker.candidates s))
+    (QCheck.Gen.map
+       (fun seed -> Scenario_gen.scenario (Choice.of_rng (Rng.make seed)) cfg)
+       (QCheck.Gen.int_bound 1_000_000))
+
 let e2e_random =
   QCheck.Test.make ~name:"e2e: random topology × workload × crashes × schedule"
     ~count:120
-    QCheck.(int_range 0 1_000_000)
-    (fun seed ->
-      let rng = Rng.make seed in
-      let topo = Topology.random rng ~n:7 ~groups:4 ~max_group_size:4 in
-      let fp =
-        Failure_pattern.random (Rng.split rng) ~n:7 ~max_faulty:2 ~horizon:25
-      in
-      let workload = Workload.random (Rng.split rng) ~msgs:6 ~max_at:20 topo in
-      let o = run ~seed topo fp workload in
-      let families = Topology.cyclic_families topo in
-      let gap =
-        Topology.blocking_edges topo families
-          ~crashed:(Failure_pattern.faulty fp)
-        <> []
-      in
+    (scenario_arb Scenario_gen.default)
+    (fun s ->
       (* Safety always; liveness except on the documented Lemma 25
          multi-cycle corner (see DESIGN.md), where the paper-exact γ(g)
-         closure may block. *)
-      Properties.integrity o = Ok ()
-      && Properties.ordering o = Ok ()
-      && Properties.minimality o = Ok ()
-      && Properties.group_sequential o = Ok ()
-      && (gap || Properties.termination o = Ok ()))
+         closure may block — [Scenario.check] exempts exactly that. *)
+      Scenario.check s = Ok ())
 
 let e2e_claims =
   QCheck.Test.make ~name:"e2e: Table 2 claims on instrumented random runs" ~count:25
-    QCheck.(int_range 0 1_000_000)
-    (fun seed ->
-      let rng = Rng.make seed in
-      let topo = Topology.random rng ~n:6 ~groups:3 ~max_group_size:4 in
-      let fp =
-        Failure_pattern.random (Rng.split rng) ~n:6 ~max_faulty:1 ~horizon:15
-      in
-      let workload = Workload.random (Rng.split rng) ~msgs:4 ~max_at:10 topo in
-      let o = Runner.run ~seed ~record_snapshots:true ~topo ~fp ~workload () in
+    (scenario_arb
+       {
+         Scenario_gen.default with
+         max_n = 6;
+         max_groups = 3;
+         max_msgs = 4;
+         max_crashes = 1;
+         max_at = 10;
+         max_crash_time = 15;
+         starvation = false;
+       })
+    (fun s ->
+      let o = Scenario.run ~record_snapshots:true s in
       List.for_all (fun (_, v) -> v = Ok ()) (Claims.all o))
 
 let suite =

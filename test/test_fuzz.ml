@@ -1,0 +1,228 @@
+(* The scenario-fuzzing subsystem: codec, generators, shrinker, driver,
+   and the committed regression corpus. *)
+
+let t = Alcotest.test_case
+
+let scenario_gen cfg =
+  QCheck.Gen.map
+    (fun seed -> Scenario_gen.scenario (Choice.of_rng (Rng.make seed)) cfg)
+    (QCheck.Gen.int_bound 1_000_000)
+
+let scenario_arb ?(cfg = Scenario_gen.default) () =
+  QCheck.make ~print:Scenario.to_string
+    ~shrink:(fun s yield -> List.iter yield (Shrinker.candidates s))
+    (scenario_gen cfg)
+
+(* ---------------- choice streams ----------------------------------- *)
+
+let choice_replay =
+  QCheck.Test.make ~name:"recorded choices replay to the same scenario"
+    ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let c = Choice.of_rng (Rng.make seed) in
+      let s = Scenario_gen.scenario c Scenario_gen.default in
+      let c' = Choice.of_list (Choice.recorded c) in
+      Scenario.equal s (Scenario_gen.scenario c' Scenario_gen.default))
+
+let choice_exhaustion () =
+  (* An exhausted replay stream keeps answering deterministically, so a
+     truncated recording still yields a well-formed scenario. *)
+  let c = Choice.of_list [ 3; 5; 1 ] in
+  let s = Scenario_gen.scenario c Scenario_gen.default in
+  Alcotest.(check (result unit string)) "still valid" (Ok ())
+    (Scenario.validate s)
+
+(* ---------------- codec -------------------------------------------- *)
+
+let codec_roundtrip =
+  QCheck.Test.make ~name:"of_string (to_string s) = s" ~count:300
+    (scenario_arb ())
+    (fun s ->
+      match Scenario.of_string (Scenario.to_string s) with
+      | Ok s' -> Scenario.equal s s'
+      | Error _ -> false)
+
+let generated_scenarios_valid =
+  QCheck.Test.make ~name:"generated scenarios are well-formed" ~count:300
+    (scenario_arb ())
+    (fun s -> Scenario.validate s = Ok ())
+
+let codec_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Scenario.of_string text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [
+      "";
+      "not a scenario";
+      "amcast-scenario v1\nn 3\n";
+      (* no group *)
+      "amcast-scenario v1\nn 3\ngroup 0 9\n";
+      (* outside universe *)
+      "amcast-scenario v1\nn 3\ngroup 0 1\nmsg 2 0 0\n";
+      (* src ∉ dst *)
+      "amcast-scenario v1\nn 3\ngroup 0 1\nwat 1\n";
+    ]
+
+let codec_tolerates_comments () =
+  let text =
+    "# a comment\namcast-scenario v1\n\nseed 9\nn 3\n# another\ngroup 0 1 2\n\
+     msg 0 0 0\n"
+  in
+  match Scenario.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      Alcotest.(check int) "seed" 9 s.Scenario.seed;
+      Alcotest.(check int) "n" 3 s.Scenario.n
+
+(* ---------------- shrinker ----------------------------------------- *)
+
+let shrink_candidates_valid =
+  QCheck.Test.make ~name:"every shrink candidate is well-formed" ~count:150
+    (scenario_arb ())
+    (fun s ->
+      List.for_all
+        (fun c -> Scenario.validate c = Ok ())
+        (Shrinker.candidates s))
+
+(* The lying-γ counterexample found by `amcast_cli fuzz --seed 1
+   --ablate gamma` (trial 127), before minimization. *)
+let known_failing_lying_gamma =
+  Scenario.make ~seed:77535 ~ablation:Scenario.Lying_gamma
+    ~msgs:[ (5, 2, 0); (1, 0, 1); (5, 2, 0); (0, 0, 1); (2, 1, 1) ]
+    ~n:6
+    [ Pset.of_list [ 0; 1; 2 ]; Pset.of_list [ 2; 3; 4 ]; Pset.of_list [ 0; 4; 5 ] ]
+
+let known_failing_always_gamma =
+  Scenario.make ~seed:438504 ~ablation:Scenario.Always_gamma
+    ~crashes:[ (0, 2) ]
+    ~msgs:
+      [ (2, 1, 0); (4, 2, 0); (4, 2, 0); (0, 2, 0); (2, 0, 0); (1, 0, 1) ]
+    ~n:6
+    [ Pset.of_list [ 0; 1; 2 ]; Pset.of_list [ 2; 3; 4 ]; Pset.of_list [ 0; 4; 5 ] ]
+
+let shrinks_and_still_fails name s () =
+  (match Scenario.check s with
+  | Ok () -> Alcotest.failf "%s: expected the scenario to fail" name
+  | Error _ -> ());
+  let m, stats = Shrinker.minimize s in
+  (match Scenario.check m with
+  | Ok () -> Alcotest.fail "minimized scenario no longer fails"
+  | Error _ -> ());
+  Alcotest.(check bool) "made progress" true (stats.Shrinker.steps > 0);
+  Alcotest.(check bool) "fewer or equal messages" true
+    (List.length m.Scenario.msgs <= List.length s.Scenario.msgs);
+  Alcotest.(check bool) "fewer or equal crashes" true
+    (List.length m.Scenario.crashes <= List.length s.Scenario.crashes);
+  (* a local minimum: no candidate still fails *)
+  Alcotest.(check bool) "local minimum" true
+    (stats.Shrinker.checks >= 500
+    || List.for_all
+         (fun c -> Scenario.check c = Ok ())
+         (Shrinker.candidates m))
+
+let passing_scenario_not_shrunk () =
+  let s =
+    Scenario.make ~n:5
+      ~msgs:[ (0, 0, 0) ]
+      [ Pset.of_list [ 0; 1 ]; Pset.of_list [ 1; 2 ] ]
+  in
+  let m, stats = Shrinker.minimize s in
+  Alcotest.(check bool) "unchanged" true (Scenario.equal s m);
+  Alcotest.(check int) "no steps" 0 stats.Shrinker.steps
+
+(* ---------------- driver ------------------------------------------- *)
+
+let full_mu_smoke () =
+  (* Bounded deterministic sweep of the full detector: no violations.
+     (The CLI-level twin runs under the @fuzz alias.) *)
+  let r =
+    Fuzz_driver.fuzz ~minimize:false ~trials:50 ~seed:42 Scenario_gen.default
+  in
+  Alcotest.(check int) "trials" 50 r.Fuzz_driver.trials;
+  Alcotest.(check int) "violations" 0 (List.length r.Fuzz_driver.violations)
+
+let ablated_fuzz_finds_violation () =
+  let cfg =
+    Scenario_gen.for_ablation Scenario.Lying_gamma Scenario_gen.default
+  in
+  let r = Fuzz_driver.fuzz ~minimize:true ~trials:150 ~seed:1 cfg in
+  match r.Fuzz_driver.violations with
+  | [] -> Alcotest.fail "lying γ survived 150 trials"
+  | v :: _ -> (
+      match v.Fuzz_driver.minimized with
+      | None -> Alcotest.fail "driver did not minimize"
+      | Some (m, _) ->
+          Alcotest.(check bool) "minimized still fails" true
+            (Scenario.check m <> Ok ());
+          (* the minimized counterexample replays through the codec *)
+          let text = Scenario.to_string m in
+          Alcotest.(check bool) "codec replay fails too" true
+            (match Scenario.of_string text with
+            | Ok m' -> Scenario.check m' <> Ok ()
+            | Error _ -> false))
+
+let driver_deterministic () =
+  let s1 = Fuzz_driver.scenario_of_trial ~seed:9 Scenario_gen.default 17 in
+  let s2 = Fuzz_driver.scenario_of_trial ~seed:9 Scenario_gen.default 17 in
+  Alcotest.(check bool) "same scenario" true (Scenario.equal s1 s2)
+
+(* ---------------- corpus ------------------------------------------- *)
+
+let corpus_dir = "../corpus"
+
+let corpus_replay () =
+  let entries = Corpus.load ~dir:corpus_dir in
+  if List.length entries < 4 then
+    Alcotest.failf "corpus too small (%d scenarios) — deps misconfigured?"
+      (List.length entries);
+  List.iter
+    (fun (name, decoded) ->
+      match decoded with
+      | Error e -> Alcotest.failf "%s does not decode: %s" name e
+      | Ok s -> (
+          let failed = Scenario.check s <> Ok () in
+          match (Corpus.expected_failing name, failed) with
+          | true, false -> Alcotest.failf "%s no longer fails" name
+          | false, true -> Alcotest.failf "%s unexpectedly fails" name
+          | _ -> ()))
+    entries
+
+let corpus_save_load () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "amcast-corpus-test" in
+  let s = known_failing_lying_gamma in
+  let path = Corpus.save ~dir ~name:"roundtrip.fail" s in
+  Alcotest.(check bool) "written" true (Sys.file_exists path);
+  match Corpus.load ~dir with
+  | [ (name, Ok s') ] ->
+      Alcotest.(check string) "name" "roundtrip.fail.scenario" name;
+      Alcotest.(check bool) "equal" true (Scenario.equal s s');
+      Sys.remove path
+  | _ -> Alcotest.fail "corpus did not round-trip"
+
+let suite =
+  [
+    t "choice stream exhaustion" `Quick choice_exhaustion;
+    t "codec rejects garbage" `Quick codec_rejects_garbage;
+    t "codec tolerates comments" `Quick codec_tolerates_comments;
+    t "shrinker: lying-γ counterexample minimizes" `Quick
+      (shrinks_and_still_fails "lying-gamma" known_failing_lying_gamma);
+    t "shrinker: always-γ counterexample minimizes" `Quick
+      (shrinks_and_still_fails "always-gamma" known_failing_always_gamma);
+    t "shrinker: passing scenario untouched" `Quick passing_scenario_not_shrunk;
+    t "driver: full-μ smoke fuzz is clean" `Quick full_mu_smoke;
+    t "driver: ablated fuzz finds + minimizes" `Quick ablated_fuzz_finds_violation;
+    t "driver: trials are deterministic" `Quick driver_deterministic;
+    t "corpus replays" `Quick corpus_replay;
+    t "corpus save/load round-trip" `Quick corpus_save_load;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        choice_replay;
+        codec_roundtrip;
+        generated_scenarios_valid;
+        shrink_candidates_valid;
+      ]

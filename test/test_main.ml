@@ -40,5 +40,6 @@ let () =
       ("necessity emulations", Test_emulation.suite);
       ("substrate", Test_substrate.suite);
       ("cht", Test_cht.suite);
+      ("fuzz", Test_fuzz.suite);
       ("experiments", [ Alcotest.test_case "sections render" `Quick experiments_sanity ]);
     ]

@@ -126,11 +126,28 @@ let strict_on_rings =
       && Properties.minimality o = Ok ())
 
 let pairwise_on_figure1 =
-  QCheck.Test.make ~name:"pairwise variant on figure 1" ~count:25
+  (* Figure 1 has cyclic families, and the γ-free pairwise variant only
+     targets the F = ∅ regime (§7): without γ its stable-waits can
+     deadlock when concurrent messages race a cyclic family through a
+     shared intersection process (seed 9090 was a witness — minimized in
+     corpus/pairwise-cyclic-liveness.scenario). Assert safety here;
+     termination is asserted on acyclic topologies below. *)
+  QCheck.Test.make ~name:"pairwise variant on figure 1 (safety)" ~count:25
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let topo = Topology.figure1 in
       let fp = Failure_pattern.never ~n:5 in
+      let workload = Workload.random (Rng.make seed) ~msgs:5 ~max_at:8 topo in
+      let o = Runner.run ~variant:Algorithm1.Pairwise ~seed ~topo ~fp ~workload () in
+      Properties.pairwise_ordering o = Ok () && Properties.integrity o = Ok ())
+
+let pairwise_on_acyclic =
+  (* The F = ∅ regime the §7 variant is meant for: full liveness. *)
+  QCheck.Test.make ~name:"pairwise variant on a chain (liveness)" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let topo = Topology.chain ~groups:3 in
+      let fp = Failure_pattern.never ~n:(Topology.n topo) in
       let workload = Workload.random (Rng.make seed) ~msgs:5 ~max_at:8 topo in
       let o = Runner.run ~variant:Algorithm1.Pairwise ~seed ~topo ~fp ~workload () in
       Properties.pairwise_ordering o = Ok () && Properties.termination o = Ok ())
@@ -246,4 +263,10 @@ let suite =
   ]
   @ List.map
       (QCheck_alcotest.to_alcotest ~long:false)
-      [ adversarial_schedules; strict_on_rings; pairwise_on_figure1; perfect_mu_random ]
+      [
+        adversarial_schedules;
+        strict_on_rings;
+        pairwise_on_figure1;
+        pairwise_on_acyclic;
+        perfect_mu_random;
+      ]
