@@ -8,9 +8,53 @@
 open Bechamel
 open Toolkit
 
+let arg_value name =
+  (* `--name N` anywhere on the command line *)
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then int_of_string_opt Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let jobs =
+  match arg_value "--jobs" with
+  | Some j when j >= 1 -> j
+  | _ -> Domain_pool.default_jobs ()
+
 let experiment_sections () =
-  print_string (Experiments.all ());
+  print_string (Experiments.all ~jobs ());
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz-sweep wall clock: the domain-pool speedup                      *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_sweep_wallclock () =
+  (* Bechamel measures per-run latency; the pool's payoff is sweep
+     throughput, so time the whole sweep on a wall clock instead. The
+     two reports must also be identical — that is the pool's whole
+     contract. *)
+  let trials = 300 and seed = 7 in
+  let sweep jobs =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Fuzz_driver.fuzz ~minimize:false ~stop_at_first:false ~jobs ~trials ~seed
+        Scenario_gen.default
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r1, t1 = sweep 1 in
+  let r4, t4 = sweep 4 in
+  print_endline "== Fuzz sweep wall clock (300 trials, seed 7) ==";
+  Printf.printf "  jobs=1 %8.2f s   jobs=4 %8.2f s   speedup %.2fx (%d cores)\n"
+    t1 t4 (t1 /. t4)
+    (Domain.recommended_domain_count ());
+  if r1 <> r4 then print_endline "  WARNING: reports differ across jobs!"
+  else
+    Printf.printf "  reports identical: %d trial(s), %d violation(s)\n"
+      r1.Fuzz_driver.trials
+      (List.length r1.Fuzz_driver.violations)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
@@ -144,9 +188,14 @@ let run_benchmarks () =
         | _ -> "     (no fit)"
       in
       Printf.printf "  %-52s %s\n" name estimate)
-    (List.sort compare rows)
+    (* sort by name only: Analyze.OLS.t is abstract, and polymorphic
+       compare over it can raise or lie *)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 let () =
   let skip_bench = Array.exists (( = ) "--no-bench") Sys.argv in
   experiment_sections ();
-  if not skip_bench then run_benchmarks ()
+  if not skip_bench then begin
+    fuzz_sweep_wallclock ();
+    run_benchmarks ()
+  end

@@ -66,6 +66,16 @@ let crashes_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Schedule seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain_pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for trial/section evaluation (default: the \
+           recommended domain count). Output is identical for every \
+           $(docv), including 1.")
+
 let msgs_arg =
   Arg.(
     value & opt int 5
@@ -249,7 +259,7 @@ let replay_file path =
           if Corpus.expected_failing (Filename.basename path) then Ok ()
           else Error (`Msg "unexpected violation"))
 
-let fuzz trials seed variant ablation minimize corpus save replay =
+let fuzz trials seed variant ablation minimize corpus save replay jobs =
   match replay with
   | Some path -> replay_file path
   | None -> (
@@ -258,7 +268,7 @@ let fuzz trials seed variant ablation minimize corpus save replay =
           { Scenario_gen.default with variants = [ variant ] }
       in
       let report =
-        Fuzz_driver.fuzz ~minimize ~stop_at_first:true ~trials ~seed cfg
+        Fuzz_driver.fuzz ~minimize ~stop_at_first:true ~jobs ~trials ~seed cfg
       in
       Format.printf "fuzz: %d trial(s), %d violation(s)@." report.trials
         (List.length report.Fuzz_driver.violations);
@@ -298,37 +308,28 @@ let fuzz_cmd =
     Term.(
       term_result
         (const fuzz $ trials_arg $ seed_arg $ variant_arg $ ablation_arg
-       $ minimize_arg $ corpus_arg $ save_arg $ replay_arg))
+       $ minimize_arg $ corpus_arg $ save_arg $ replay_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let experiments =
-  [
-    ("table1", Experiments.table1);
-    ("figure1", Experiments.figure1);
-    ("figure2", Experiments.figure2);
-    ("figure3", Experiments.figure3);
-    ("figure45", Experiments.figure45);
-    ("table2", Experiments.table2);
-    ("scaling", Experiments.scaling);
-    ("convoy", Experiments.convoy);
-    ("prop47", Experiments.prop47);
-    ("necessity", Experiments.necessity);
-    ("all", Experiments.all);
-  ]
-
-let experiment name =
-  match List.assoc_opt name experiments with
-  | Some f ->
-      print_string (f ());
-      Ok ()
-  | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown experiment %S (one of: %s)" name
-             (String.concat ", " (List.map fst experiments))))
+let experiment name jobs =
+  if name = "all" then begin
+    print_string (Experiments.all ~jobs ());
+    Ok ()
+  end
+  else
+    match List.assoc_opt name Experiments.sections with
+    | Some f ->
+        print_string (f ());
+        Ok ()
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown experiment %S (one of: %s)" name
+               (String.concat ", "
+                  (List.map fst Experiments.sections @ [ "all" ]))))
 
 let experiment_cmd =
   let doc = "Regenerate a table or figure of the paper (or 'all')." in
@@ -336,7 +337,7 @@ let experiment_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
   Cmd.v (Cmd.info "experiment" ~doc)
-    (Term.term_result Term.(const experiment $ exp_name))
+    (Term.term_result Term.(const experiment $ exp_name $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 

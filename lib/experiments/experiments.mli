@@ -45,5 +45,11 @@ val necessity : unit -> string
 (** §5 — the three extraction algorithms validated against the
     detector axioms. *)
 
-val all : unit -> string
-(** Every section, in DESIGN.md order. *)
+val sections : (string * (unit -> string)) list
+(** Every section with its CLI name, in DESIGN.md order. *)
+
+val all : ?jobs:int -> unit -> string
+(** Every section, in DESIGN.md order. [jobs] (default [1]) evaluates
+    the sections concurrently on a {!Domain_pool}; each renders into
+    its own buffer and results are concatenated in canonical order, so
+    the output is identical for every [jobs]. *)

@@ -11,21 +11,43 @@ let contains s sub =
 
 let expected_failing name = contains name ".fail."
 
+let load_one dir f =
+  (* Never let an unreadable or malformed file escape as a bare
+     exception: one bad entry must not abort the whole suite, and the
+     error must name its file. *)
+  match
+    let ic = open_in_bin (Filename.concat dir f) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error (Printf.sprintf "%s: %s" f e)
+  | exception End_of_file -> Error (Printf.sprintf "%s: truncated read" f)
+  | text -> (
+      match Scenario.of_string text with
+      | Ok s -> Ok s
+      | Error e -> Error (Printf.sprintf "%s: %s" f e)
+      | exception exn ->
+          Error (Printf.sprintf "%s: %s" f (Printexc.to_string exn)))
+
 let load ~dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then []
   else
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> has_suffix f suffix)
     |> List.sort compare
-    |> List.map (fun f ->
-           let ic = open_in_bin (Filename.concat dir f) in
-           let len = in_channel_length ic in
-           let text = really_input_string ic len in
-           close_in ic;
-           (f, Scenario.of_string text))
+    |> List.map (fun f -> (f, load_one dir f))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* tolerate a concurrent creator *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
 
 let save ~dir ~name s =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   let name = if has_suffix name suffix then name else name ^ suffix in
   let path = Filename.concat dir name in
   let oc = open_out_bin path in

@@ -11,8 +11,11 @@ val expected_failing : string -> bool
 
 val load : dir:string -> (string * (Scenario.t, string) result) list
 (** All [*.scenario] files of the directory, sorted by name, decoded.
-    Returns [[]] if the directory does not exist. *)
+    Returns [[]] if the directory does not exist. A file that cannot be
+    read or parsed yields [Error msg] with [msg] naming the file — it
+    never escapes as an exception. *)
 
 val save : dir:string -> name:string -> Scenario.t -> string
 (** Write [name] (the [".scenario"] suffix is appended if missing)
-    into [dir], creating the directory if needed; returns the path. *)
+    into [dir], creating the directory — including missing parents —
+    if needed; returns the path. *)

@@ -12,23 +12,57 @@ let scenario_of_trial ~seed cfg i =
      without re-running its predecessors. *)
   Scenario_gen.scenario (Choice.of_rng (Rng.make ((seed * 1_000_003) + i))) cfg
 
-let fuzz ?(minimize = true) ?(stop_at_first = true) ?(max_shrink_checks = 500)
-    ?(on_trial = fun _ _ -> ()) ~trials ~seed cfg =
-  let rec loop i acc =
-    if i >= trials then { trials; violations = List.rev acc }
-    else
-      let s = scenario_of_trial ~seed cfg i in
-      on_trial i s;
-      match Scenario.check s with
-      | Ok () -> loop (i + 1) acc
-      | Error failure ->
-          let minimized =
-            if minimize then
-              Some (Shrinker.minimize ~max_checks:max_shrink_checks s)
-            else None
-          in
-          let v = { trial = i; scenario = s; failure; minimized } in
-          if stop_at_first then { trials = i + 1; violations = List.rev (v :: acc) }
-          else loop (i + 1) (v :: acc)
+(* Trial outcomes are pure functions of (seed, cfg, i); minimization is
+   a pure function of the violating scenario. The parallel paths below
+   therefore only have to get the *selection* right — earliest index
+   wins, results assembled in index order — for reports to come out
+   bit-identical to the sequential run. Minimization always happens in
+   the calling domain, on the selected violations only. *)
+
+let check_trial ~seed ~on_trial cfg i =
+  let s = scenario_of_trial ~seed cfg i in
+  on_trial i s;
+  match Scenario.check s with Ok () -> None | Error e -> Some (s, e)
+
+let violation_of ~minimize ~max_shrink_checks i (s, failure) =
+  let minimized =
+    if minimize then Some (Shrinker.minimize ~max_checks:max_shrink_checks s)
+    else None
   in
-  loop 0 []
+  { trial = i; scenario = s; failure; minimized }
+
+let fuzz ?(minimize = true) ?(stop_at_first = true) ?(max_shrink_checks = 500)
+    ?(on_trial = fun _ _ -> ()) ?(jobs = 1) ~trials ~seed cfg =
+  let mk = violation_of ~minimize ~max_shrink_checks in
+  if jobs <= 1 then
+    (* The sequential reference: trials are generated and checked in
+       order, and nothing past the first violation is even generated
+       when [stop_at_first]. *)
+    let rec loop i acc =
+      if i >= trials then { trials; violations = List.rev acc }
+      else
+        match check_trial ~seed ~on_trial cfg i with
+        | None -> loop (i + 1) acc
+        | Some witness ->
+            let v = mk i witness in
+            if stop_at_first then
+              { trials = i + 1; violations = List.rev (v :: acc) }
+            else loop (i + 1) (v :: acc)
+    in
+    loop 0 []
+  else if stop_at_first then
+    match
+      Domain_pool.find_first ~jobs trials (check_trial ~seed ~on_trial cfg)
+    with
+    | None -> { trials; violations = [] }
+    | Some (i, witness) -> { trials = i + 1; violations = [ mk i witness ] }
+  else
+    let outcomes =
+      Domain_pool.map ~jobs trials (check_trial ~seed ~on_trial cfg)
+    in
+    let violations =
+      Array.to_list outcomes
+      |> List.mapi (fun i o -> (i, o))
+      |> List.filter_map (fun (i, o) -> Option.map (mk i) o)
+    in
+    { trials; violations }

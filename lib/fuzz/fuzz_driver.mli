@@ -23,6 +23,7 @@ val fuzz :
   ?stop_at_first:bool ->
   ?max_shrink_checks:int ->
   ?on_trial:(int -> Scenario.t -> unit) ->
+  ?jobs:int ->
   trials:int ->
   seed:int ->
   Scenario_gen.config ->
@@ -30,4 +31,14 @@ val fuzz :
 (** Generate and {!Scenario.check} [trials] scenarios. With
     [stop_at_first] (default [true]) the loop ends at the first
     violation; with [minimize] (default [true]) each collected
-    violation is run through {!Shrinker.minimize}. *)
+    violation is run through {!Shrinker.minimize}.
+
+    [jobs] (default [1]) farms the trials over a {!Domain_pool}. The
+    report is bit-identical to the sequential run for every [jobs]:
+    violations are listed in trial order, [stop_at_first] selects the
+    earliest-index violation (later in-flight trials are discarded and
+    pending ones cancelled), and minimization runs in the calling
+    domain on the selected violations only. The only observable
+    differences are wall-clock time and [on_trial], which under
+    [jobs > 1] is invoked from worker domains in an arbitrary order
+    (and may fire for trials past the first violation). *)

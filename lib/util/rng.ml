@@ -19,8 +19,17 @@ let split t = { state = next t }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
-  let x = Int64.to_int (Int64.shift_right_logical (next t) 2) in
-  x mod bound
+  (* Bitmask-and-reject: draw 62-bit words, mask down to the smallest
+     all-ones cover of [bound - 1], retry above [bound]. Unbiased for
+     every bound (plain [mod] is not once bound ∤ 2^62), at an expected
+     cost of < 2 draws. *)
+  let rec mask_of m = if m >= bound - 1 then m else mask_of ((m lsl 1) lor 1) in
+  let mask = mask_of 1 in
+  let rec draw () =
+    let x = Int64.to_int (Int64.shift_right_logical (next t) 2) land mask in
+    if x < bound then x else draw ()
+  in
+  draw ()
 
 let bool t = Int64.logand (next t) 1L = 1L
 

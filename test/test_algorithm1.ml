@@ -207,7 +207,10 @@ let lying_gamma_breaks_ordering () =
     if seed > 600 then false
     else
       let fp = Failure_pattern.never ~n in
-      let workload = Workload.random (Rng.make seed) ~msgs:4 ~max_at:3 topo in
+      (* 6 messages: under the unbiased Rng.int streams the 4-message
+         witnesses thin out (first hit past seed 600); 6 keeps them
+         dense (~1%, first hit near seed 100). *)
+      let workload = Workload.random (Rng.make seed) ~msgs:6 ~max_at:3 topo in
       let mu = Mu.gamma_lying (Mu.make ~seed topo fp) in
       let o = run ~seed ~mu topo fp workload in
       Properties.ordering o <> Ok () || search (seed + 1)

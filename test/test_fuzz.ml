@@ -88,18 +88,19 @@ let shrink_candidates_valid =
         (Shrinker.candidates s))
 
 (* The lying-γ counterexample found by `amcast_cli fuzz --seed 1
-   --ablate gamma` (trial 127), before minimization. *)
+   --ablate gamma` (trial 137), before minimization. *)
 let known_failing_lying_gamma =
-  Scenario.make ~seed:77535 ~ablation:Scenario.Lying_gamma
-    ~msgs:[ (5, 2, 0); (1, 0, 1); (5, 2, 0); (0, 0, 1); (2, 1, 1) ]
+  Scenario.make ~seed:28883 ~ablation:Scenario.Lying_gamma
+    ~msgs:[ (3, 1, 1); (1, 0, 1); (5, 2, 0); (1, 0, 1) ]
     ~n:6
     [ Pset.of_list [ 0; 1; 2 ]; Pset.of_list [ 2; 3; 4 ]; Pset.of_list [ 0; 4; 5 ] ]
 
+(* `amcast_cli fuzz --seed 1 --ablate gamma-always` (trial 0), before
+   minimization. *)
 let known_failing_always_gamma =
-  Scenario.make ~seed:438504 ~ablation:Scenario.Always_gamma
-    ~crashes:[ (0, 2) ]
-    ~msgs:
-      [ (2, 1, 0); (4, 2, 0); (4, 2, 0); (0, 2, 0); (2, 0, 0); (1, 0, 1) ]
+  Scenario.make ~seed:477670 ~ablation:Scenario.Always_gamma ~max_delay:4
+    ~crashes:[ (4, 2) ]
+    ~msgs:[ (2, 0, 2); (2, 0, 2); (5, 2, 1); (2, 0, 0) ]
     ~n:6
     [ Pset.of_list [ 0; 1; 2 ]; Pset.of_list [ 2; 3; 4 ]; Pset.of_list [ 0; 4; 5 ] ]
 
@@ -169,6 +170,75 @@ let driver_deterministic () =
   let s2 = Fuzz_driver.scenario_of_trial ~seed:9 Scenario_gen.default 17 in
   Alcotest.(check bool) "same scenario" true (Scenario.equal s1 s2)
 
+(* ---------------- parallel driver ---------------------------------- *)
+
+let report_equal (a : Fuzz_driver.report) (b : Fuzz_driver.report) =
+  a.Fuzz_driver.trials = b.Fuzz_driver.trials
+  && List.length a.Fuzz_driver.violations = List.length b.Fuzz_driver.violations
+  && List.for_all2
+       (fun (va : Fuzz_driver.violation) (vb : Fuzz_driver.violation) ->
+         va.Fuzz_driver.trial = vb.Fuzz_driver.trial
+         && Scenario.equal va.Fuzz_driver.scenario vb.Fuzz_driver.scenario
+         && va.Fuzz_driver.failure = vb.Fuzz_driver.failure
+         &&
+         match (va.Fuzz_driver.minimized, vb.Fuzz_driver.minimized) with
+         | None, None -> true
+         | Some (ma, sa), Some (mb, sb) -> Scenario.equal ma mb && sa = sb
+         | _ -> false)
+       a.Fuzz_driver.violations b.Fuzz_driver.violations
+
+let parallel_parity () =
+  (* The pool's contract: for every [jobs], [fuzz] reports exactly the
+     sequential run — same violations, same order, same minimized
+     witnesses. Covers the clean sweep, the earliest-index selection
+     under [stop_at_first] (the lying-γ config violates on several
+     trials, so workers race to different violations), and the
+     collect-everything mode. *)
+  let lying =
+    Scenario_gen.for_ablation Scenario.Lying_gamma Scenario_gen.default
+  in
+  let always =
+    Scenario_gen.for_ablation Scenario.Always_gamma Scenario_gen.default
+  in
+  let cases =
+    [
+      ("clean sweep", Scenario_gen.default, 42, 60, true, true);
+      ("lying-γ stop_at_first", lying, 1, 150, true, true);
+      ("always-γ stop_at_first", always, 1, 10, true, true);
+      ("lying-γ collect all", lying, 3, 80, false, false);
+      ("always-γ collect all", always, 1, 25, false, false);
+    ]
+  in
+  List.iter
+    (fun (name, cfg, seed, trials, stop_at_first, minimize) ->
+      let reference =
+        Fuzz_driver.fuzz ~minimize ~stop_at_first ~jobs:1 ~trials ~seed cfg
+      in
+      List.iter
+        (fun jobs ->
+          let r =
+            Fuzz_driver.fuzz ~minimize ~stop_at_first ~jobs ~trials ~seed cfg
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: jobs=%d matches jobs=1" name jobs)
+            true (report_equal reference r))
+        [ 2; 4 ])
+    cases
+
+let parallel_worker_exception () =
+  (* A worker exception (here: from on_trial) crosses the pool back to
+     the caller instead of killing a domain silently. *)
+  let boom i _ = if i = 7 then failwith "boom" in
+  List.iter
+    (fun stop_at_first ->
+      match
+        Fuzz_driver.fuzz ~minimize:false ~stop_at_first ~on_trial:boom ~jobs:3
+          ~trials:30 ~seed:1 Scenario_gen.default
+      with
+      | _ -> Alcotest.fail "expected the worker exception to propagate"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m)
+    [ true; false ]
+
 (* ---------------- corpus ------------------------------------------- *)
 
 let corpus_dir = "../corpus"
@@ -189,6 +259,51 @@ let corpus_replay () =
           | false, true -> Alcotest.failf "%s unexpectedly fails" name
           | _ -> ()))
     entries
+
+let contains_sub s sub =
+  let re = Str.regexp_string sub in
+  try
+    ignore (Str.search_forward re s 0);
+    true
+  with Not_found -> false
+
+let corpus_malformed_file_named () =
+  (* A malformed .scenario must surface as an Error naming its file,
+     not abort the whole load as a bare exception. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "amcast-corpus-malformed"
+  in
+  let good = Corpus.save ~dir ~name:"good.fail" known_failing_lying_gamma in
+  let bad = Filename.concat dir "broken.scenario" in
+  let oc = open_out bad in
+  output_string oc "amcast-scenario v1\nn 3\n";
+  (* well-formed header, no group: a parse-level failure *)
+  close_out oc;
+  (match Corpus.load ~dir with
+  | [ ("broken.scenario", Error msg); ("good.fail.scenario", Ok _) ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the file: %s" msg)
+        true
+        (contains_sub msg "broken.scenario")
+  | entries ->
+      Alcotest.failf "unexpected corpus shape (%d entries)"
+        (List.length entries));
+  Sys.remove bad;
+  Sys.remove good;
+  Sys.rmdir dir
+
+let corpus_save_creates_parents () =
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ()) "amcast-corpus-nested"
+  in
+  let dir = Filename.concat (Filename.concat base "a") "b" in
+  let path = Corpus.save ~dir ~name:"deep" known_failing_lying_gamma in
+  Alcotest.(check bool) "written through missing parents" true
+    (Sys.file_exists path);
+  Sys.remove path;
+  Sys.rmdir dir;
+  Sys.rmdir (Filename.concat base "a");
+  Sys.rmdir base
 
 let corpus_save_load () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "amcast-corpus-test" in
@@ -215,8 +330,12 @@ let suite =
     t "driver: full-μ smoke fuzz is clean" `Quick full_mu_smoke;
     t "driver: ablated fuzz finds + minimizes" `Quick ablated_fuzz_finds_violation;
     t "driver: trials are deterministic" `Quick driver_deterministic;
+    t "driver: jobs=N reports match jobs=1" `Slow parallel_parity;
+    t "driver: worker exceptions propagate" `Quick parallel_worker_exception;
     t "corpus replays" `Quick corpus_replay;
     t "corpus save/load round-trip" `Quick corpus_save_load;
+    t "corpus: malformed file error names it" `Quick corpus_malformed_file_named;
+    t "corpus: save creates missing parents" `Quick corpus_save_creates_parents;
   ]
   @ List.map
       (QCheck_alcotest.to_alcotest ~long:false)

@@ -29,6 +29,7 @@ let () =
   Alcotest.run "repro"
     [
       ("pset", Test_pset.suite);
+      ("domain pool", Test_domain_pool.suite);
       ("core units", Test_core_units.suite);
       ("topology", Test_topology.suite);
       ("detectors", Test_detectors.suite);
