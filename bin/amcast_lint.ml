@@ -1,0 +1,96 @@
+(* CLI for the determinism & hygiene linter (lib/lint). Exits 0 when
+   the tree is clean, 1 on any error-severity diagnostic, 2 on usage
+   errors. `dune build @lint` runs it over lib/ bin/ bench/. *)
+
+open Cmdliner
+
+let rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"R1,R2"
+        ~doc:
+          "Comma-separated subset of rules to run (default: all). Known \
+           rules: $(b,poly-compare), $(b,wall-clock), $(b,hashtbl-order), \
+           $(b,global-mutable), $(b,io-in-lib), $(b,mli-presence).")
+
+let scope_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", Lint.Auto);
+             ("strict", Lint.Strict);
+             ("relaxed", Lint.Relaxed);
+             ("exec", Lint.Exec);
+           ])
+        Lint.Auto
+    & info [ "scope" ] ~docv:"SCOPE"
+        ~doc:
+          "Scope override. $(b,auto) classifies each file by path \
+           (determinism rules are errors in the strict libraries, warnings \
+           elsewhere; IO/clock rules do not apply to executables); \
+           $(b,strict)/$(b,relaxed)/$(b,exec) force one class for every \
+           file.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+
+let paths_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"PATH"
+        ~doc:"Files or directories to lint (default: lib bin bench).")
+
+let run rules scope format paths =
+  let paths = if paths = [] then [ "lib"; "bin"; "bench" ] else paths in
+  let rules = Option.map (String.split_on_char ',') rules in
+  let unknown =
+    match rules with
+    | None -> []
+    | Some rs -> List.filter (fun r -> not (List.mem r Lint.rule_names)) rs
+  in
+  match unknown with
+  | r :: _ ->
+      prerr_endline ("amcast_lint: unknown rule " ^ r);
+      2
+  | [] ->
+      let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+      if missing <> [] then begin
+        prerr_endline ("amcast_lint: no such path " ^ List.hd missing);
+        2
+      end
+      else begin
+        let diags = Lint.lint_paths ?rules ~scope paths in
+        print_string
+          (match format with
+          | `Text -> Lint.to_text diags
+          | `Json -> Lint.to_json diags);
+        if Lint.has_errors diags then 1 else 0
+      end
+
+let cmd =
+  let doc = "static determinism & hygiene linter for the repro tree" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml file with compiler-libs and enforces the \
+         replayability invariants the reproduction depends on: typed \
+         comparators, no ambient clock/randomness, sorted Hashtbl \
+         iteration, no shared top-level mutable state, no console IO in \
+         libraries, and an .mli per library module.";
+      `P
+        "Suppress a finding with [@lint.allow \"<rule>\"] on the expression \
+         or binding, or [@@@lint.allow \"<rule>\"] for a whole file.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "amcast_lint" ~doc ~man)
+    Term.(const run $ rules_arg $ scope_arg $ format_arg $ paths_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -75,7 +75,12 @@ let step st ~pid:p ~time:t =
         s.invoked && s.final = None
         && Pset.for_all (fun q -> Hashtbl.mem s.proposals q) (dst st m)
       then begin
-        let ts = Hashtbl.fold (fun _ v acc -> max v acc) s.proposals 0 in
+        (* max is commutative and associative: the fold's result does
+           not depend on the Hashtbl iteration order. *)
+        let ts =
+          (Hashtbl.fold (fun _ v acc -> max v acc) s.proposals 0
+          [@lint.allow "hashtbl-order"])
+        in
         s.final <- Some ts;
         (* every member advances its clock past the final timestamp *)
         Pset.iter (fun q -> st.clock.(q) <- max st.clock.(q) ts) (dst st m);

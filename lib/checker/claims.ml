@@ -22,8 +22,12 @@ let log_assoc snap key = match List.assoc_opt key snap with Some l -> l | None -
 let entry_of snap key d =
   List.find_opt (fun (d', _, _) -> d' = d) (log_assoc snap key)
 
+let compare_key (g, h) (g', h') =
+  let c = Int.compare g g' in
+  if c <> 0 then c else Int.compare h h'
+
 let keys_of a b =
-  List.sort_uniq compare (List.map fst a @ List.map fst b)
+  List.sort_uniq compare_key (List.map fst a @ List.map fst b)
 
 let pp_d = Algorithm1.pp_datum
 
@@ -88,9 +92,9 @@ let claim5 outcome =
         (Ok ()) (keys_of a b))
 
 (* d <_L d' over snapshot entries: by position, ties by the a-priori
-   datum order (Stdlib.compare, as in the implementation). *)
+   datum order (the implementation's Algorithm1.compare_datum). *)
 let snap_lt (d, pos, _) (d', pos', _) =
-  pos < pos' || (pos = pos' && Stdlib.compare d d' < 0)
+  pos < pos' || (pos = pos' && Algorithm1.compare_datum d d' < 0)
 
 let claim6 outcome =
   consecutive outcome (fun a b ->
@@ -266,7 +270,12 @@ let claim13 outcome =
         | Some e -> e
         | None -> []
       in
-      if List.exists (fun (d, _, _) -> d = Algorithm1.Msg m) entries then Ok ()
+      if
+        List.exists
+          (fun (d, _, _) ->
+            match d with Algorithm1.Msg m' -> m' = m | _ -> false)
+          entries
+      then Ok ()
       else fail "claim 13: delivered m%d missing from LOG_g%d" m g)
     (Ok ())
     (Trace.deliveries outcome.Runner.trace)
@@ -298,18 +307,22 @@ let claim15 outcome =
             (Trace.Delivered :: (try Hashtbl.find by_pm (p, m) with Not_found -> []))
       | _ -> ())
     tr.Trace.events;
-  Hashtbl.fold
-    (fun (p, m) hist acc ->
-      let* () = acc in
-      let hist = List.rev hist in
-      let rec monotone last = function
-        | [] -> true
-        | ph :: rest ->
-            Trace.phase_rank ph > last && monotone (Trace.phase_rank ph) rest
-      in
-      if monotone (-1) hist then Ok ()
-      else fail "claim 15: phase of m%d regressed at p%d" m p)
-    by_pm (Ok ())
+  (* Fold in sorted (p, m) order so the first failure reported does
+     not depend on Hashtbl iteration order. *)
+  Hashtbl.fold (fun k hist acc -> (k, hist) :: acc) by_pm []
+  |> List.sort (fun (k, _) (k', _) -> compare_key k k')
+  |> List.fold_left
+       (fun acc ((p, m), hist) ->
+         let* () = acc in
+         let hist = List.rev hist in
+         let rec monotone last = function
+           | [] -> true
+           | ph :: rest ->
+               Trace.phase_rank ph > last && monotone (Trace.phase_rank ph) rest
+         in
+         if monotone (-1) hist then Ok ()
+         else fail "claim 15: phase of m%d regressed at p%d" m p)
+       (Ok ())
 
 let all outcome =
   [

@@ -86,7 +86,9 @@ let delivery_edges outcome =
 
 let find_cycle edges =
   let succs v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
-  let vertices = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  let vertices =
+    List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
   let state = Hashtbl.create 16 in
   (* 0 = unvisited (absent), 1 = on stack, 2 = done *)
   let exception Found of int list in

@@ -29,7 +29,7 @@ let tags_memo sim =
           match Floodset.decided sim cfg with
           | Some o -> [ o ]
           | None ->
-              List.sort_uniq compare
+              List.sort_uniq Floodset.compare_outcome
                 (List.concat_map
                    (fun s -> tags (Floodset.apply sim cfg s))
                    (Floodset.enabled sim cfg))

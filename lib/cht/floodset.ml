@@ -34,7 +34,17 @@ let create ~procs ~rounds ~samples =
     samples;
   { k = procs; rounds; samples }
 
-let union_seen a b = List.sort_uniq compare (a @ b)
+let compare_outcome a b =
+  match (a, b) with
+  | G, G | H, H -> 0
+  | G, H -> -1
+  | H, G -> 1
+
+let compare_received (r, s) (r', s') =
+  let c = Int.compare r r' in
+  if c <> 0 then c else Int.compare s s'
+
+let union_seen a b = List.sort_uniq compare_outcome (a @ b)
 
 let broadcast t p round seen =
   List.filter_map
@@ -104,7 +114,8 @@ let apply t cfg step =
                 st with
                 seen = union_seen st.seen m.mseen;
                 received =
-                  List.sort_uniq compare ((m.mround, m.src) :: st.received);
+                  List.sort_uniq compare_received
+                    ((m.mround, m.src) :: st.received);
               },
               remove_message cfg p i ))
   in
@@ -151,7 +162,11 @@ let decided t cfg =
     (fun acc st -> match acc with Some _ -> acc | None -> st.decided)
     None cfg.ps
 
-let compare_config = Stdlib.compare
+(* Configurations are finite records of ints, int options and message
+   lists built by the same deterministic simulation on every run: the
+   polymorphic order is total and representation-stable here, and a
+   hand-written structural comparator would merely restate the type. *)
+let compare_config = (Stdlib.compare [@lint.allow "poly-compare"])
 
 let step_message t cfg (s : step) =
   ignore t;

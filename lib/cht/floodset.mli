@@ -53,6 +53,9 @@ val apply : t -> config -> step -> config
 val decided : t -> config -> outcome option
 (** The delivery outcome, once some process decided. *)
 
+val compare_outcome : outcome -> outcome -> int
+(** Structural order over outcomes: [G < H]. *)
+
 val compare_config : config -> config -> int
 val pp_outcome : Format.formatter -> outcome -> unit
 

@@ -10,6 +10,26 @@ let pp_datum fmt = function
   | Pend (m, h, i) -> Format.fprintf fmt "(m%d,g%d,%d)" m h i
   | Stab (m, h) -> Format.fprintf fmt "(m%d,g%d)" m h
 
+(* The a-priori total order over log entries (the paper's arbitrary
+   but fixed tie-break). Constructor rank then lexicographic fields —
+   the same order Stdlib.compare used to give, spelled out so it can
+   never silently depend on the runtime representation. *)
+let compare_datum a b =
+  match (a, b) with
+  | Msg m, Msg m' -> Int.compare m m'
+  | Pend (m, h, i), Pend (m', h', i') ->
+      let c = Int.compare m m' in
+      if c <> 0 then c
+      else
+        let c = Int.compare h h' in
+        if c <> 0 then c else Int.compare i i'
+  | Stab (m, h), Stab (m', h') ->
+      let c = Int.compare m m' in
+      if c <> 0 then c else Int.compare h h'
+  | a, b ->
+      let rank = function Msg _ -> 0 | Pend _ -> 1 | Stab _ -> 2 in
+      Int.compare (rank a) (rank b)
+
 type t = {
   topo : Topology.t;
   mu : Mu.t;
@@ -40,7 +60,7 @@ let log st g h =
   match Hashtbl.find_opt st.logs key with
   | Some l -> l
   | None ->
-      let l = Log.create ~compare:Stdlib.compare in
+      let l = Log.create ~compare:compare_datum in
       Hashtbl.replace st.logs key l;
       l
 
@@ -272,7 +292,11 @@ let step st ~pid:p ~time:t =
 let trace st = { Trace.events = List.rev st.events; n = Topology.n st.topo }
 let phase st ~pid ~m = st.phase.(pid).(m)
 
-let log_keys st = Hashtbl.fold (fun k _ acc -> k :: acc) st.logs [] |> List.sort compare
+let log_keys st =
+  Hashtbl.fold (fun k _ acc -> k :: acc) st.logs []
+  |> List.sort (fun (g, h) (g', h') ->
+         let c = Int.compare g g' in
+         if c <> 0 then c else Int.compare h h')
 
 let log_snapshot st key =
   match Hashtbl.find_opt st.logs key with

@@ -65,6 +65,10 @@ val consensus_instances : t -> int
 
 val pp_datum : Format.formatter -> datum -> unit
 
+val compare_datum : datum -> datum -> int
+(** The a-priori total order used to tie-break equal log positions
+    (constructor rank, then fields lexicographically). *)
+
 val release : t -> m:int -> time:int -> unit
 (** Allow the source of message [m] to invoke [multicast m] from [time]
     on. Used by the necessity constructions (Algorithms 2–4), whose

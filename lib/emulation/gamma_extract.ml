@@ -21,7 +21,13 @@ type t = {
 }
 
 let edge_key (g, h) = if g <= h then (g, h) else (h, g)
-let edge_set pi = List.sort_uniq compare (List.map edge_key (Topology.cpath_edges pi))
+
+let compare_edge (g, h) (g', h') =
+  let c = Int.compare g g' in
+  if c <> 0 then c else Int.compare h h'
+
+let edge_set pi =
+  List.sort_uniq compare_edge (List.map edge_key (Topology.cpath_edges pi))
 
 (* Orientation sign: rotate to the smallest group and compare the two
    neighbours; reversing the path flips the sign. *)
@@ -146,7 +152,9 @@ let step t ~pid:p ~time =
    triangle with two dead edges). *)
 let failed t probe =
   let k = Array.length probe.pi in
-  Hashtbl.fold
+  (* Pure disjunction over the signalled levels: the fold's result is
+     independent of the Hashtbl iteration order. *)
+  (Hashtbl.fold [@lint.allow "hashtbl-order"])
     (fun j () acc ->
       acc || j = k - 2
       || List.exists
@@ -166,7 +174,9 @@ let query t p =
   List.filter
     (fun fam ->
       let classes =
-        List.sort_uniq compare (List.map edge_set (Topology.cpaths t.topo fam))
+        List.sort_uniq
+          (List.compare compare_edge)
+          (List.map edge_set (Topology.cpaths t.topo fam))
       in
       List.exists
         (fun cls ->

@@ -1,8 +1,12 @@
 let edge_key (g, h) = if g <= h then (g, h) else (h, g)
 
+let compare_edge (g, h) (g', h') =
+  let c = Int.compare g g' in
+  if c <> 0 then c else Int.compare h h'
+
 let equivalence_classes paths =
   let key pi =
-    List.sort_uniq compare (List.map edge_key (Topology.cpath_edges pi))
+    List.sort_uniq compare_edge (List.map edge_key (Topology.cpath_edges pi))
   in
   let tbl = Hashtbl.create 8 in
   List.iter
@@ -10,7 +14,10 @@ let equivalence_classes paths =
       let k = key pi in
       Hashtbl.replace tbl k (pi :: (try Hashtbl.find tbl k with Not_found -> [])))
     paths;
-  Hashtbl.fold (fun _ cls acc -> cls :: acc) tbl []
+  (* Emit classes in sorted key order, not Hashtbl order. *)
+  Hashtbl.fold (fun k cls acc -> (k, cls) :: acc) tbl []
+  |> List.sort (fun (k, _) (k', _) -> List.compare compare_edge k k')
+  |> List.map snd
 
 let gamma_of_indicators topo ~families indicator p t =
   let fp_families = Topology.families_of_process topo families p in

@@ -21,7 +21,11 @@ let query d p t =
     | None -> Some false
     | Some ft ->
         let delay =
+          (* Fixed seed-0 hash over an int pair: deterministic across
+             runs; derives the per-process indication delay only. *)
           if d.max_delay = 0 then 0
-          else Hashtbl.hash (d.seed, p) mod (d.max_delay + 1)
+          else
+            (Hashtbl.hash (d.seed, p) [@lint.allow "poly-compare"])
+            mod (d.max_delay + 1)
         in
         Some (t >= ft + delay)

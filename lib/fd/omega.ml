@@ -28,5 +28,12 @@ let query d p t =
   if not (Pset.mem p d.scope) then None
   else if t >= d.stabilization then Some d.leader
   else
-    let i = Hashtbl.hash (d.seed, p, t) mod Array.length d.members in
+    (* Hashtbl.hash over an int/variant tuple is a fixed seed-0 hash:
+       deterministic across runs, used only to derive a pseudo-random
+       pre-stabilization leader; replacing it would invalidate every
+       seed-named corpus entry. *)
+    let i =
+      (Hashtbl.hash (d.seed, p, t) [@lint.allow "poly-compare"])
+      mod Array.length d.members
+    in
     Some d.members.(i)

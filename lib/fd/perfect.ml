@@ -12,8 +12,12 @@ let query d _p t =
     | None -> false
     | Some ct ->
         let delay =
+          (* Fixed seed-0 hash over an int pair: deterministic across
+             runs; derives the per-process detection delay only. *)
           if d.max_delay = 0 then 0
-          else Hashtbl.hash (d.seed, q) mod (d.max_delay + 1)
+          else
+            (Hashtbl.hash (d.seed, q) [@lint.allow "poly-compare"])
+            mod (d.max_delay + 1)
         in
         t >= ct + delay
   in

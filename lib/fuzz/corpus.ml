@@ -35,7 +35,7 @@ let load ~dir =
   else
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> has_suffix f suffix)
-    |> List.sort compare
+    |> List.sort String.compare
     |> List.map (fun f -> (f, load_one dir f))
 
 let rec mkdir_p dir =

@@ -23,7 +23,7 @@ let normalise_crashes crashes =
       | _ -> Hashtbl.replace tbl p t)
     crashes;
   Hashtbl.fold (fun p t acc -> (p, t) :: acc) tbl []
-  |> List.sort (fun (p, _) (q, _) -> compare p q)
+  |> List.sort (fun (p, _) (q, _) -> Int.compare p q)
 
 let make ?(crashes = []) ?(msgs = []) ?(variant = Algorithm1.Vanilla)
     ?(ablation = Full) ?(schedule = Free) ?(max_delay = 5) ?(seed = 1) ~n groups

@@ -1,0 +1,62 @@
+(** Determinism & hygiene linter over the repo's own OCaml sources.
+
+    The whole reproduction rests on deterministic replay: seeded
+    schedulers stand in for the paper's adversary, the fuzz corpus is
+    replayed on every test run, and the parallel runner promises
+    bit-identical reports across [--jobs]. The invariants that make
+    replay possible are syntactic enough to check statically: no
+    polymorphic ordering at composite types, no ambient clock or RNG,
+    no Hashtbl iteration order escaping unsorted, no shared top-level
+    mutable state, no console IO in libraries, an interface file per
+    library module.
+
+    Each [.ml] file is parsed with [compiler-libs] into a
+    {!Parsetree.structure} and walked with an {!Ast_iterator}; the pass
+    is purely syntactic (no typing), so every rule is a conservative,
+    documented approximation. *)
+
+type scope =
+  | Auto  (** classify each file by its path (the default) *)
+  | Strict  (** treat every file as a determinism-critical library *)
+  | Relaxed  (** treat every file as an ordinary library *)
+  | Exec  (** treat every file as executable/bench code *)
+
+type severity = Warning | Error
+
+type diagnostic = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  msg : string;
+}
+
+val rules : (string * string) list
+(** Rule ids with one-line documentation: [poly-compare], [wall-clock],
+    [hashtbl-order], [global-mutable], [io-in-lib], [mli-presence].
+    (The implicit [parse-error] rule fires when a file does not parse.) *)
+
+val rule_names : string list
+
+val lint_string :
+  ?scope:scope -> ?rules:string list -> file:string -> string -> diagnostic list
+(** [lint_string ~file src] lints the source text [src] as if it lived
+    at path [file] (the path drives scope classification and the
+    [lib/util/rng.ml] wall-clock exemption). [?rules] restricts the
+    rule set. Results are sorted by (file, line, col, rule). *)
+
+val lint_paths :
+  ?scope:scope -> ?rules:string list -> string list -> diagnostic list
+(** Lints every [*.ml] under the given files/directories (recursively,
+    skipping dot-directories and [_build]); also checks [mli-presence]
+    for files under a [lib] path segment. *)
+
+val to_text : diagnostic list -> string
+(** One [file:line:col: severity[rule] msg] line per diagnostic. *)
+
+val to_json : diagnostic list -> string
+(** Stable machine-readable report: sorted diagnostics, one per line,
+    with error/warning totals. *)
+
+val has_errors : diagnostic list -> bool

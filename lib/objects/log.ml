@@ -6,7 +6,7 @@ type 'a t = {
   mutable max_pos : int;
 }
 
-let create ~compare = { compare; table = Hashtbl.create 16; max_pos = 0 }
+let create ~compare:cmp = { compare = cmp; table = Hashtbl.create 16; max_pos = 0 }
 
 let head log = log.max_pos + 1
 
@@ -47,7 +47,7 @@ let lt log d d' =
 let entries log =
   Hashtbl.fold (fun d e acc -> (d, e.position) :: acc) log.table []
   |> List.sort (fun (d, p) (d', p') ->
-         if p <> p' then Stdlib.compare p p' else log.compare d d')
+         if p <> p' then Int.compare p p' else log.compare d d')
   |> List.map fst
 
 let before log d =

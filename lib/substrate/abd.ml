@@ -74,8 +74,14 @@ let quorum_covered t p time acks =
    shrink to the collected acks after a crash, with no further message
    to wake us up). *)
 let transitions t p time =
-  Hashtbl.fold
-    (fun (owner, op) st advanced ->
+  (* The scan short-circuits on the first op that advances, so walk
+     operations in (pid, opid) order, never in Hashtbl order. *)
+  Hashtbl.fold (fun k st acc -> (k, st) :: acc) t.ops []
+  |> List.sort (fun ((p1, o1), _) ((p2, o2), _) ->
+         let c = Int.compare p1 p2 in
+         if c <> 0 then c else Int.compare o1 o2)
+  |> List.fold_left
+       (fun advanced ((owner, op), st) ->
       if advanced || owner <> p then advanced
       else
         match st.phase with
@@ -95,7 +101,7 @@ let transitions t p time =
             st.phase <- `Done;
             true
         | `Query | `Update | `Done -> advanced)
-    t.ops false
+       false
 
 let step t ~pid:p ~time =
   let received =

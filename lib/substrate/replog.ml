@@ -119,24 +119,31 @@ let client_transitions t p time =
                   true
               | None -> Synod.step sy ~pid:p ~time))
 
+(* Duty scans short-circuit on the first slot that acts, so the scan
+   order is behaviour: walk slots by ascending id, never in Hashtbl
+   order (which depends on insertion history). *)
+let slots_in_order t =
+  Hashtbl.fold (fun s sl acc -> (s, sl) :: acc) t.slots []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 (* Participant duty: scope members keep answering adopt-commit traffic
    of every slot (join-and-ack), even with no operation of their own. *)
 let participant_transitions t p time =
-  Hashtbl.fold
-    (fun _ sl acted -> acted || Ac.step sl.ac ~pid:p ~time)
-    t.slots false
+  List.fold_left
+    (fun acted (_, sl) -> acted || Ac.step sl.ac ~pid:p ~time)
+    false (slots_in_order t)
 
 (* Acceptor duty: members of the host group serve the slow path of any
    slot whose consensus is running. *)
 let acceptor_transitions t p time =
-  Hashtbl.fold
-    (fun _ sl acted ->
+  List.fold_left
+    (fun acted (_, sl) ->
       acted
       ||
       match sl.synod with
       | Some sy -> Synod.step sy ~pid:p ~time
       | None -> false)
-    t.slots false
+    false (slots_in_order t)
 
 let step t ~pid:p ~time =
   if Pset.mem p t.scope then
@@ -147,8 +154,8 @@ let step t ~pid:p ~time =
   else false
 
 let messages_sent t =
-  Hashtbl.fold
-    (fun _ sl acc ->
+  List.fold_left
+    (fun acc (_, sl) ->
       acc + Ac.messages_sent sl.ac
       + (match sl.synod with Some sy -> Synod.messages_sent sy | None -> 0))
-    t.slots 0
+    0 (slots_in_order t)

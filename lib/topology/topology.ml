@@ -65,8 +65,12 @@ let cpath_edges (pi : cpath) =
 
 let edge_key (g, h) = if g <= h then (g, h) else (h, g)
 
+let compare_edge (g, h) (g', h') =
+  let c = Int.compare g g' in
+  if c <> 0 then c else Int.compare h h'
+
 let cpath_equiv a b =
-  let norm pi = List.sort_uniq compare (List.map edge_key (cpath_edges pi)) in
+  let norm pi = List.sort_uniq compare_edge (List.map edge_key (cpath_edges pi)) in
   norm a = norm b
 
 let index_of (pi : cpath) g =
@@ -129,7 +133,7 @@ let cyclic_families ?max_size t =
      vertices larger than the root; close when adjacent to the root. *)
   let rec extend root path last len =
     if len >= 3 && adjacent last root then begin
-      let fam = List.sort compare path in
+      let fam = List.sort Int.compare path in
       if not (Hashtbl.mem seen fam) then Hashtbl.replace seen fam ()
     end;
     if len < limit then
@@ -141,7 +145,8 @@ let cyclic_families ?max_size t =
   for root = 0 to k - 1 do
     extend root [ root ] root 1
   done;
-  List.sort compare (Hashtbl.fold (fun fam () acc -> fam :: acc) seen [])
+  List.sort (List.compare Int.compare)
+    (Hashtbl.fold (fun fam () acc -> fam :: acc) seen [])
 
 let families_of_group _t families g =
   List.filter (fun fam -> List.mem g fam) families

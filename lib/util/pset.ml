@@ -80,8 +80,32 @@ let subset a b = Array.length (diff a b) = 0
 let disjoint a b = Array.length (inter a b) = 0
 let intersects a b = not (disjoint a b)
 let equal (a : t) (b : t) = a = b
-let compare (a : t) (b : t) = Stdlib.compare a b
-let hash (s : t) = Hashtbl.hash s
+
+(* The canonical form (no trailing zero words) makes any function of
+   the word array representation-stable: equal sets have identical
+   arrays no matter the insertion order. Keep the order of Stdlib's
+   array compare (length first, then elementwise) so the total order
+   observed by existing users is unchanged. *)
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+(* Murmur-style word mixing over the canonical array: stable across
+   runs, processes and insertion orders. *)
+let hash (s : t) =
+  let mix h w =
+    let h = h lxor (w lxor (w lsr 33)) in
+    h * 0xff51afd7ed558cc land max_int
+  in
+  Array.fold_left mix (Array.length s + 0x9e3779b9) s
 
 let fold f (s : t) init =
   let acc = ref init in

@@ -42,7 +42,12 @@ val intersects : t -> t -> bool
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+(** Structural total order over the canonical word array: equal sets
+    compare equal regardless of the insertion order that built them. *)
+
 val hash : t -> int
+(** Representation-stable hash over the canonical word array (equal
+    sets hash equal, across runs and processes). *)
 
 val min_elt : t -> int option
 (** Smallest element, or [None] on the empty set. *)

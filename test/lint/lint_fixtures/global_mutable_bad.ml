@@ -1,0 +1,2 @@
+(* fixture: triggers exactly one global-mutable diagnostic *)
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16

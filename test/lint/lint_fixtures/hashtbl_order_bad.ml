@@ -1,0 +1,2 @@
+(* fixture: triggers exactly one hashtbl-order diagnostic *)
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []

@@ -1,0 +1,2 @@
+(* fixture: triggers exactly one io-in-lib diagnostic *)
+let report x = print_endline x

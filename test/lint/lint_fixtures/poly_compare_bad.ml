@@ -1,0 +1,2 @@
+(* fixture: triggers exactly one poly-compare diagnostic *)
+let sorted l = List.sort compare l

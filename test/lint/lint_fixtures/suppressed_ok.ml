@@ -1,0 +1,3 @@
+(* fixture: the same poly-compare violation as poly_compare_bad.ml,
+   suppressed with an expression attribute — must yield no diagnostics *)
+let sorted l = (List.sort compare l [@lint.allow "poly-compare"])

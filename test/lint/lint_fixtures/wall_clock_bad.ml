@@ -1,0 +1,2 @@
+(* fixture: triggers exactly one wall-clock diagnostic *)
+let now () = Sys.time ()

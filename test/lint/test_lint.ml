@@ -1,0 +1,139 @@
+(* The linter's own test suite: fixture files each trigger exactly one
+   rule (plus one suppressed), the JSON report matches the checked-in
+   snapshot, regressions in strict libraries are errors, and the real
+   tree lints clean. *)
+
+let t = Alcotest.test_case
+
+let summarize diags =
+  List.map (fun d -> (d.Lint.file, d.Lint.line, d.Lint.rule)) diags
+
+let triple = Alcotest.(list (triple string int string))
+
+(* Fixture files live next to the test binary (declared as deps in
+   test/dune); every bad fixture yields exactly one diagnostic under
+   the strict scope, and the suppressed one yields none. *)
+let fixtures () =
+  let diags = Lint.lint_paths ~scope:Lint.Strict [ "lint_fixtures" ] in
+  Alcotest.check triple "one diagnostic per bad fixture"
+    [
+      ("lint_fixtures/global_mutable_bad.ml", 2, "global-mutable");
+      ("lint_fixtures/hashtbl_order_bad.ml", 2, "hashtbl-order");
+      ("lint_fixtures/io_in_lib_bad.ml", 2, "io-in-lib");
+      ("lint_fixtures/poly_compare_bad.ml", 2, "poly-compare");
+      ("lint_fixtures/wall_clock_bad.ml", 2, "wall-clock");
+    ]
+    (summarize diags);
+  Alcotest.(check bool) "all errors under strict scope" true
+    (List.for_all (fun d -> d.Lint.severity = Lint.Error) diags)
+
+let json_snapshot () =
+  let diags = Lint.lint_paths ~scope:Lint.Strict [ "lint_fixtures" ] in
+  let expected =
+    In_channel.with_open_bin "lint_fixtures/expected.json" In_channel.input_all
+  in
+  Alcotest.(check string)
+    "json report matches the checked-in snapshot" (String.trim expected)
+    (String.trim (Lint.to_json diags))
+
+let suppression () =
+  let lint src = Lint.lint_string ~scope:Lint.Strict ~file:"lib/fuzz/x.ml" src in
+  Alcotest.(check int) "expression attribute suppresses" 0
+    (List.length (lint "let f l = (List.sort compare l [@lint.allow \"poly-compare\"])"));
+  Alcotest.(check int) "file attribute suppresses" 0
+    (List.length
+       (lint "[@@@lint.allow \"poly-compare\"]\nlet f l = List.sort compare l"));
+  Alcotest.(check int) "wrong rule name does not suppress" 1
+    (List.length (lint "let f l = (List.sort compare l [@lint.allow \"wall-clock\"])"))
+
+(* Deliberately reintroducing a bare compare in a strict library is an
+   error-severity diagnostic — exactly what makes `dune build @lint`
+   (and hence `dune runtest`) fail. *)
+let strict_regression () =
+  let diags =
+    Lint.lint_string ~file:"lib/fuzz/corpus.ml" "let f l = List.sort compare l"
+  in
+  Alcotest.check triple "flagged" [ ("lib/fuzz/corpus.ml", 1, "poly-compare") ]
+    (summarize diags);
+  Alcotest.(check bool) "error severity" true (Lint.has_errors diags);
+  (* the same source in a relaxed library is only a warning *)
+  let diags =
+    Lint.lint_string ~file:"lib/cht/floodset.ml" "let f l = List.sort compare l"
+  in
+  Alcotest.(check bool) "warning in relaxed scope" false (Lint.has_errors diags);
+  Alcotest.(check int) "still reported" 1 (List.length diags)
+
+let scope_map () =
+  (* wall-clock and io do not apply to executables/benches... *)
+  let src = "let t0 () = Unix.gettimeofday ()\nlet p x = print_endline x" in
+  Alcotest.(check int) "exec scope waives clock and io" 0
+    (List.length (Lint.lint_string ~file:"bench/main.ml" src));
+  (* ...but apply to any library *)
+  Alcotest.(check int) "lib scope enforces them" 2
+    (List.length (Lint.lint_string ~file:"lib/cht/floodset.ml" src));
+  (* the ambient RNG owner is exempt from wall-clock *)
+  Alcotest.(check int) "rng.ml owns randomness" 0
+    (List.length
+       (Lint.lint_string ~file:"lib/util/rng.ml" "let x () = Random.bits ()"));
+  Alcotest.(check int) "other util files do not" 1
+    (List.length
+       (Lint.lint_string ~file:"lib/util/choice.ml" "let x () = Random.bits ()"))
+
+let hashtbl_sorted_ok () =
+  Alcotest.(check int) "fold followed by a sort in the same binding is fine" 0
+    (List.length
+       (Lint.lint_string ~file:"lib/core/x.ml"
+          "let keys t =\n\
+          \  Hashtbl.fold (fun k _ acc -> k :: acc) t []\n\
+          \  |> List.sort Int.compare"))
+
+let mli_presence () =
+  (* Build a tiny lib tree in the test's cwd: an orphan .ml must be
+     flagged, a paired one must not. *)
+  let dir = "mli_fix/lib/demo" in
+  let rec mkdir_p d =
+    if not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdir_p dir;
+  let write f c = Out_channel.with_open_bin f (fun oc -> Out_channel.output_string oc c) in
+  write (Filename.concat dir "orphan.ml") "let x = 1\n";
+  write (Filename.concat dir "paired.ml") "let x = 1\n";
+  write (Filename.concat dir "paired.mli") "val x : int\n";
+  let diags = Lint.lint_paths [ "mli_fix" ] in
+  Alcotest.check triple "only the orphan is flagged"
+    [ ("mli_fix/lib/demo/orphan.ml", 1, "mli-presence") ]
+    (summarize diags)
+
+(* The real tree produces zero diagnostics — not even warnings. The
+   sources are declared as deps in the dune stanza, so they are present
+   relative to the test's cwd (_build/default/test/lint). *)
+let self_clean () =
+  let diags = Lint.lint_paths [ "../../lib"; "../../bin"; "../../bench" ] in
+  Alcotest.check triple "tree lints clean" [] (summarize diags)
+
+let parse_error () =
+  let diags = Lint.lint_string ~file:"lib/core/x.ml" "let let = in" in
+  Alcotest.check triple "parse failure is a diagnostic"
+    [ ("lib/core/x.ml", 1, "parse-error") ]
+    (summarize diags);
+  Alcotest.(check bool) "and an error" true (Lint.has_errors diags)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "lint",
+        [
+          t "fixtures: one rule per file" `Quick fixtures;
+          t "fixtures: json snapshot" `Quick json_snapshot;
+          t "suppressions" `Quick suppression;
+          t "strict regression is an error" `Quick strict_regression;
+          t "scope map" `Quick scope_map;
+          t "sorted fold is clean" `Quick hashtbl_sorted_ok;
+          t "mli presence" `Quick mli_presence;
+          t "self-clean tree" `Quick self_clean;
+          t "parse error" `Quick parse_error;
+        ] );
+    ]

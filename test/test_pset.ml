@@ -71,10 +71,35 @@ let qcheck_props =
         Pset.equal a b = (Pset.compare a b = 0));
   ]
 
+(* compare/hash are representation-stable: the same set built in any
+   insertion order (or via different operations) compares equal-as-0 and
+   hashes identically, so both are safe as keys in replayable state. *)
+let order_invariance () =
+  let elems = [ 0; 3; 7; 63; 64; 65; 128; 1000 ] in
+  let fwd = Pset.of_list elems in
+  let rev = Pset.of_list (List.rev elems) in
+  let one_by_one = List.fold_left (fun s p -> Pset.add p s) Pset.empty elems in
+  let via_union =
+    List.fold_left
+      (fun s p -> Pset.union s (Pset.singleton p))
+      Pset.empty (List.rev elems)
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "compare 0" 0 (Pset.compare fwd s);
+      Alcotest.(check int) "same hash" (Pset.hash fwd) (Pset.hash s))
+    [ rev; one_by_one; via_union ];
+  (* removing then re-adding an element must restore the canonical form *)
+  let cycled = Pset.add 64 (Pset.remove 64 fwd) in
+  Alcotest.(check int) "compare 0 after remove/add" 0 (Pset.compare fwd cycled);
+  Alcotest.(check int) "same hash after remove/add" (Pset.hash fwd)
+    (Pset.hash cycled)
+
 let suite =
   [
     t "basics" `Quick basics;
     t "large ids" `Quick large_ids;
     t "set operations" `Quick ops;
+    t "compare/hash insertion-order invariant" `Quick order_invariance;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props
