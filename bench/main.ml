@@ -12,14 +12,17 @@
 open Bechamel
 open Toolkit
 
-let arg_value name =
-  (* `--name N` anywhere on the command line *)
+let arg_string name =
+  (* `--name V` anywhere on the command line *)
   let rec scan i =
     if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = name then int_of_string_opt Sys.argv.(i + 1)
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
     else scan (i + 1)
   in
   scan 1
+
+let arg_value name = Option.bind (arg_string name) int_of_string_opt
+let has_flag name = Array.exists (String.equal name) Sys.argv
 
 let jobs =
   match arg_value "--jobs" with
@@ -196,10 +199,46 @@ let run_benchmarks () =
        compare over it can raise or lie *)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
+(* ------------------------------------------------------------------ *)
+(* The Algorithm 1 scaling suite (see scaling.ml)                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_scaling () =
+  let quota_ms =
+    match arg_value "--quota-ms" with Some q when q >= 0 -> q | _ -> 500
+  in
+  let smoke = has_flag "--smoke" in
+  let label =
+    match arg_string "--label" with Some l -> l | None -> "HEAD"
+  in
+  let results = Scaling.run_all ~quota_ms ~smoke in
+  (match arg_string "--format" with
+  | Some "json" ->
+      let json = Scaling.json_trajectory ~label ~quota_ms results in
+      (match arg_string "--out" with
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc json);
+          Printf.printf "scaling suite written to %s (%d cases)\n" path
+            (List.length results)
+      | None -> print_string json)
+  | _ ->
+      Scaling.print_text results;
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc
+                (Scaling.json_trajectory ~label ~quota_ms results)))
+        (arg_string "--out"))
+
 let () =
-  let skip_bench = Array.exists (( = ) "--no-bench") Sys.argv in
-  experiment_sections ();
-  if not skip_bench then begin
-    fuzz_sweep_wallclock ();
-    run_benchmarks ()
+  let skip_bench = has_flag "--no-bench" in
+  if has_flag "--scaling-only" then run_scaling ()
+  else begin
+    experiment_sections ();
+    run_scaling ();
+    if not skip_bench then begin
+      fuzz_sweep_wallclock ();
+      run_benchmarks ()
+    end
   end

@@ -36,8 +36,10 @@ type t = {
   variant : variant;
   msgs : Amsg.t array;
   req_at : int array;
-  (* LOG_{g∩h}, keyed by the normalised pair; (g, g) is LOG_g. *)
-  logs : (Topology.gid * Topology.gid, datum Log.t) Hashtbl.t;
+  (* LOG_{g∩h}, indexed by the normalised pair ((g, g) is LOG_g);
+     [None] until first touched. An array because the lookup sits in
+     every guard of the stepper's hot path. *)
+  logs : datum Log.t option array array;
   (* The shared lists L_g of the Prop. 1 reduction (append order,
      newest first) and whether a message has been listed. *)
   lists : int list ref array;
@@ -51,20 +53,44 @@ type t = {
   groups_of : Topology.gid list array;
   mutable events : Trace.event list; (* newest first *)
   mutable seq : int;
+  (* Enablement cache (hot-path indexing, DESIGN.md): a failed [step]
+     attempt on (p, m) need not be retried until state it can observe
+     has moved. [ver_group.(g)] counts mutations of L_g, req_at of
+     g-bound messages and every log whose key contains g;
+     [ver_proc.(p)] counts phase changes at p (guards only ever read
+     the stepping process's phases). [fail_g/fail_p] remember the
+     counters at the last fully-failed step of (p, m), [fail_t] its
+     tick (for the invocation-time crossing of [try_list]). [cache]
+     false restores the seed stepper — the reference the
+     trace-identity tests compare against. *)
+  cache : bool;
+  ver_group : int array;
+  ver_proc : int array;
+  fail_g : int array array;
+  fail_p : int array array;
+  fail_t : int array array;
 }
 
-let pair_key g h = if g <= h then (g, h) else (h, g)
+let touch_group st g = st.ver_group.(g) <- st.ver_group.(g) + 1
+let touch_proc st p = st.ver_proc.(p) <- st.ver_proc.(p) + 1
+
+(* Touch every group whose logs an action at [p] on a g-bound message
+   mutates: g itself plus the stepper's own groups (the (g, h) logs). *)
+let touch_pair_logs st p g =
+  touch_group st g;
+  List.iter (fun h -> if h <> g then touch_group st h) st.groups_of.(p)
 
 let log st g h =
-  let key = pair_key g h in
-  match Hashtbl.find_opt st.logs key with
+  let g, h = if g <= h then (g, h) else (h, g) in
+  match st.logs.(g).(h) with
   | Some l -> l
   | None ->
       let l = Log.create ~compare:compare_datum in
-      Hashtbl.replace st.logs key l;
+      st.logs.(g).(h) <- Some l;
       l
 
-let create ?(variant = Vanilla) ~topo ~mu ~workload () =
+let create ?(variant = Vanilla) ?(enablement_cache = true) ~topo ~mu ~workload
+    () =
   let reqs = Array.of_list workload in
   let k = Array.length reqs in
   Array.iteri
@@ -99,7 +125,9 @@ let create ?(variant = Vanilla) ~topo ~mu ~workload () =
     variant;
     msgs;
     req_at = Array.map (fun r -> r.Workload.at) reqs;
-    logs = Hashtbl.create 16;
+    logs =
+      Array.make_matrix (Topology.num_groups topo) (Topology.num_groups topo)
+        None;
     lists = Array.init (Topology.num_groups topo) (fun _ -> ref []);
     listed = Array.make k false;
     cons = Consensus_table.create ();
@@ -109,6 +137,12 @@ let create ?(variant = Vanilla) ~topo ~mu ~workload () =
     groups_of = Array.init n (Topology.groups_of topo);
     events = [];
     seq = 0;
+    cache = enablement_cache;
+    ver_group = Array.make (Topology.num_groups topo) 0;
+    ver_proc = Array.make n 0;
+    fail_g = Array.make_matrix n k (-1);
+    fail_p = Array.make_matrix n k (-1);
+    fail_t = Array.make_matrix n k (-1);
   }
 
 let emit st ev =
@@ -117,17 +151,22 @@ let emit st ev =
 
 let set_phase st p m ph time =
   st.phase.(p).(m) <- ph;
+  touch_proc st p;
   match ph with
   | Trace.Delivered -> emit st (fun seq -> Trace.Deliver { m; p; time; seq })
   | ph -> emit st (fun seq -> Trace.Phase_change { m; p; phase = ph; time; seq })
 
 let rank st p m = Trace.phase_rank st.phase.(p).(m)
 
-(* Messages (Msg entries) strictly before [m] in the given log. *)
-let msg_predecessors st g h m =
+(* Check [check m'] on every message (Msg entry) strictly before [m]
+   in the (g, h) log — trivially true when [m] is not in that log.
+   One allocation-free prefix walk of the incremental index. *)
+let msg_predecessors_ok st g h m check =
   let l = log st g h in
-  if not (Log.mem l (Msg m)) then []
-  else List.filter_map (function Msg m' -> Some m' | _ -> None) (Log.before l (Msg m))
+  (not (Log.mem l (Msg m)))
+  || Log.fold_before l (Msg m)
+       (fun acc d -> acc && (match d with Msg m' -> check m' | _ -> true))
+       true
 
 (* γ(g) as seen at (p, t), per variant. *)
 let gamma_groups st p t g =
@@ -147,6 +186,7 @@ let try_list st p t m =
     let l = st.lists.(msg.Amsg.dst) in
     l := m :: !l;
     st.listed.(m) <- true;
+    touch_group st msg.Amsg.dst;
     emit st (fun seq -> Trace.Invoke { m; p; time = t; seq });
     true
   end
@@ -163,15 +203,17 @@ let try_send st p t m =
   if (not st.listed.(m)) || Log.mem lg (Msg m) then false
   else
     let older =
-      (* messages listed before m in L_g *)
-      let rec after_m acc = function
-        | [] -> acc
-        | x :: rest -> if x = m then rest else after_m acc rest
+      (* messages listed before m in L_g: the tail after m's occurrence
+         in the newest-first shared list *)
+      let rec after_m = function
+        | [] -> []
+        | x :: rest -> if x = m then rest else after_m rest
       in
-      after_m [] !(st.lists.(g))
+      after_m !(st.lists.(g))
     in
     if List.for_all (fun m' -> st.phase.(p).(m') = Trace.Delivered) older then begin
       ignore (Log.append lg (Msg m));
+      touch_group st g;
       emit st (fun seq -> Trace.Send { m; p; time = t; seq });
       true
     end
@@ -183,15 +225,15 @@ let try_pending st p t m =
   let lg = log st g g in
   st.phase.(p).(m) = Trace.Start
   && Log.mem lg (Msg m)
-  && List.for_all
-       (fun m' -> rank st p m' >= Trace.phase_rank Trace.Commit)
-       (msg_predecessors st g g m)
+  && msg_predecessors_ok st g g m (fun m' ->
+         rank st p m' >= Trace.phase_rank Trace.Commit)
   && begin
        List.iter
          (fun h ->
            let i = Log.append (log st g h) (Msg m) in
            ignore (Log.append lg (Pend (m, h, i))))
          st.groups_of.(p);
+       touch_pair_logs st p g;
        set_phase st p m Trace.Pending t;
        true
      end
@@ -201,23 +243,31 @@ let try_commit st p t m =
   let g = st.msgs.(m).Amsg.dst in
   let lg = log st g g in
   st.phase.(p).(m) = Trace.Pending
-  && List.for_all
-       (fun h -> List.exists (fun d -> match d with Pend (m', h', _) -> m' = m && h' = h | _ -> false) (Log.entries lg))
-       (gamma_groups st p t g)
   && begin
-       let k =
-         List.fold_left
-           (fun acc d ->
-             match d with Pend (m', _, i) when m' = m -> max acc i | _ -> acc)
-           0 (Log.entries lg)
+       (* One indexed scan of LOG_g instead of a fresh [entries] sort
+          per γ-group: the groups with a recorded (m, h, i) tuple, and
+          the highest such position i. *)
+       let pend_hs, k =
+         Log.fold_entries lg
+           (fun ((hs, k) as acc) d ->
+             match d with
+             | Pend (m', h, i) when m' = m -> (h :: hs, max k i)
+             | _ -> acc)
+           ([], 0)
        in
-       let fam_key = List.assoc g st.h_key.(p) in
-       let k = Consensus_table.propose st.cons (m, fam_key) k in
-       List.iter
-         (fun h -> Log.bump_and_lock (log st g h) (Msg m) k)
-         st.groups_of.(p);
-       set_phase st p m Trace.Commit t;
-       true
+       List.for_all
+         (fun h -> List.mem h pend_hs)
+         (gamma_groups st p t g)
+       && begin
+            let fam_key = List.assoc g st.h_key.(p) in
+            let k = Consensus_table.propose st.cons (m, fam_key) k in
+            List.iter
+              (fun h -> Log.bump_and_lock (log st g h) (Msg m) k)
+              st.groups_of.(p);
+            touch_pair_logs st p g;
+            set_phase st p m Trace.Commit t;
+            true
+          end
      end
 
 (* stabilize(m, h), lines 25–29. *)
@@ -227,11 +277,11 @@ let try_stabilize st p t m h =
   ignore t;
   st.phase.(p).(m) = Trace.Commit
   && (not (Log.mem lg (Stab (m, h))))
-  && List.for_all
-       (fun m' -> rank st p m' >= Trace.phase_rank Trace.Stable)
-       (msg_predecessors st g h m)
+  && msg_predecessors_ok st g h m (fun m' ->
+         rank st p m' >= Trace.phase_rank Trace.Stable)
   && begin
        ignore (Log.append lg (Stab (m, h)));
+       touch_group st g;
        true
      end
 
@@ -262,47 +312,101 @@ let try_deliver st p t m =
   st.phase.(p).(m) = Trace.Stable
   && List.for_all
        (fun h ->
-         List.for_all
-           (fun m' -> st.phase.(p).(m') = Trace.Delivered)
-           (msg_predecessors st g h m))
+         msg_predecessors_ok st g h m (fun m' ->
+             st.phase.(p).(m') = Trace.Delivered))
        st.groups_of.(p)
   && begin
        set_phase st p m Trace.Delivered t;
        true
      end
 
+(* Whether a failed attempt on (p, m) recorded at [fail_t] with the
+   current version counters could evaluate differently at time [t]: a
+   delivered message never acts again; otherwise every guard is a pure
+   function of counted state except the detector queries of commit
+   (γ, phase Pending) and stable (γ / 1^{g∩h}, phase Commit) — absent
+   under Pairwise where γ(g) = ∅ — and the [t ≥ req_at] threshold of
+   try_list, which can only flip when t first crosses req_at. *)
+let skippable st p t m =
+  match st.phase.(p).(m) with
+  | Trace.Delivered -> true
+  | ph ->
+      let msg = st.msgs.(m) in
+      st.fail_g.(p).(m) = st.ver_group.(msg.Amsg.dst)
+      && st.fail_p.(p).(m) = st.ver_proc.(p)
+      && (match ph with
+         | Trace.Pending | Trace.Commit -> st.variant = Pairwise
+         | Trace.Start | Trace.Stable | Trace.Delivered -> true)
+      && not
+           (msg.Amsg.src = p
+           && (not st.listed.(m))
+           && t >= st.req_at.(m)
+           && st.fail_t.(p).(m) < st.req_at.(m))
+
+let enabled st ~pid:p ~time:t =
+  (not st.cache)
+  || List.exists (fun m -> not (skippable st p t m)) st.relevant.(p)
+
 let step st ~pid:p ~time:t =
-  let try_each f l = List.exists f l in
-  let rel = st.relevant.(p) in
-  try_each (try_deliver st p t) rel
-  || try_each (try_stable st p t) rel
-  || try_each
-       (fun m ->
-         let g = st.msgs.(m).Amsg.dst in
-         st.phase.(p).(m) = Trace.Commit
-         && try_each
-              (fun h -> Pset.mem p (Topology.inter st.topo g h) && try_stabilize st p t m h)
-              st.groups_of.(p))
-       rel
-  || try_each (try_commit st p t) rel
-  || try_each (try_pending st p t) rel
-  || try_each (try_send st p t) rel
-  || try_each (try_list st p t) rel
+  let live =
+    if st.cache then
+      List.filter (fun m -> not (skippable st p t m)) st.relevant.(p)
+    else st.relevant.(p)
+  in
+  match live with
+  | [] -> false
+  | _ ->
+      let try_each f l = List.exists f l in
+      let executed =
+        try_each (try_deliver st p t) live
+        || try_each (try_stable st p t) live
+        || try_each
+             (fun m ->
+               let g = st.msgs.(m).Amsg.dst in
+               st.phase.(p).(m) = Trace.Commit
+               && try_each
+                    (fun h ->
+                      Pset.mem p (Topology.inter st.topo g h)
+                      && try_stabilize st p t m h)
+                    st.groups_of.(p))
+             live
+        || try_each (try_commit st p t) live
+        || try_each (try_pending st p t) live
+        || try_each (try_send st p t) live
+        || try_each (try_list st p t) live
+      in
+      if (not executed) && st.cache then
+        List.iter
+          (fun m ->
+            st.fail_g.(p).(m) <- st.ver_group.(st.msgs.(m).Amsg.dst);
+            st.fail_p.(p).(m) <- st.ver_proc.(p);
+            st.fail_t.(p).(m) <- t)
+          live;
+      executed
 
 let trace st = { Trace.events = List.rev st.events; n = Topology.n st.topo }
 let phase st ~pid ~m = st.phase.(pid).(m)
 
 let log_keys st =
-  Hashtbl.fold (fun k _ acc -> k :: acc) st.logs []
-  |> List.sort (fun (g, h) (g', h') ->
-         let c = Int.compare g g' in
-         if c <> 0 then c else Int.compare h h')
+  let k = Topology.num_groups st.topo in
+  let acc = ref [] in
+  for g = k - 1 downto 0 do
+    for h = k - 1 downto g do
+      match st.logs.(g).(h) with
+      | Some _ -> acc := (g, h) :: !acc
+      | None -> ()
+    done
+  done;
+  !acc
 
-let log_snapshot st key =
-  match Hashtbl.find_opt st.logs key with
-  | None -> []
-  | Some l ->
-      List.map (fun d -> (d, Log.pos l d, Log.locked l d)) (Log.entries l)
+let log_snapshot st (g, h) =
+  let k = Topology.num_groups st.topo in
+  if g < 0 || h < 0 || g >= k || h >= k then []
+  else
+    match st.logs.(g).(h) with
+    | None -> []
+    | Some l ->
+        List.map (fun d -> (d, Log.pos l d, Log.locked l d)) (Log.entries l)
 
 let consensus_instances st = Consensus_table.instances st.cons
 

@@ -37,16 +37,31 @@ type t
 
 val create :
   ?variant:variant ->
+  ?enablement_cache:bool ->
   topo:Topology.t ->
   mu:Mu.t ->
   workload:Workload.t ->
   unit ->
   t
-(** Workload message ids must be [0 .. K-1]. *)
+(** Workload message ids must be [0 .. K-1].
+
+    [enablement_cache] (default [true]) turns on the hot-path skip
+    index: per-(process, message) failure cursors invalidated by
+    version counters on log/list/phase mutations, so [step] skips
+    messages whose guards cannot have changed since they last failed.
+    The cache only prunes provably-disabled candidates, so traces are
+    bit-identical either way; [false] recovers the reference stepper
+    (used by the trace-identity tests). *)
 
 val step : t -> pid:int -> time:int -> bool
 (** Execute at most one enabled action of process [pid]; returns
     whether one was executed. Feed this to [Engine.run]. *)
+
+val enabled : t -> pid:int -> time:int -> bool
+(** Conservative enablement hint for [Engine.run]: [false] only when
+    the cache proves no action of [pid] can execute at [time] (always
+    [true] with the cache off). Sound to use as the engine's
+    [?enabled] filter: skipping such a process cannot change the run. *)
 
 val trace : t -> Trace.t
 (** Events recorded so far, in execution order. *)

@@ -16,54 +16,33 @@ type outcome = {
 let default_horizon workload fp =
   let k = List.length workload in
   let max_at = List.fold_left (fun acc r -> max acc r.Workload.at) 0 workload in
-  let max_crash =
-    let rec loop p acc =
-      if p >= Failure_pattern.n fp then acc
-      else
-        loop (p + 1)
-          (match Failure_pattern.crash_time fp p with
-          | None -> acc
-          | Some t -> max acc t)
-    in
-    loop 0 0
-  in
-  100 + (25 * k) + max_at + max_crash
+  100 + (25 * k) + max_at + Failure_pattern.max_crash_time fp
 
 let snapshot_of st =
   List.map (fun key -> (key, Algorithm1.log_snapshot st key)) (Algorithm1.log_keys st)
 
 let run ?(variant = Algorithm1.Vanilla) ?(seed = 1) ?horizon ?mu ?scheduled
-    ?(record_snapshots = false) ~topo ~fp ~workload () =
+    ?enablement_cache ?(record_snapshots = false) ~topo ~fp ~workload () =
   let mu = match mu with Some m -> m | None -> Mu.make ~seed topo fp in
   let horizon =
     match horizon with Some h -> h | None -> default_horizon workload fp
   in
-  let st = Algorithm1.create ~variant ~topo ~mu ~workload () in
+  let st = Algorithm1.create ~variant ?enablement_cache ~topo ~mu ~workload () in
   let snapshots = ref [] in
   let on_tick t = if record_snapshots then snapshots := (t, snapshot_of st) :: !snapshots in
   let max_at = List.fold_left (fun acc r -> max acc r.Workload.at) 0 workload in
-  let max_crash =
-    let rec loop p acc =
-      if p >= Failure_pattern.n fp then acc
-      else
-        loop (p + 1)
-          (match Failure_pattern.crash_time fp p with
-          | None -> acc
-          | Some t -> max acc t)
-    in
-    loop 0 0
-  in
   (* With a custom schedule the engine cannot distinguish "nothing
      enabled" from "the enabled process is not being scheduled right
      now", so early quiescence is only safe under the default
      all-alive schedule. *)
   let quiesce_after =
     match scheduled with
-    | None -> max_at + max_crash + 30
+    | None -> max_at + Failure_pattern.max_crash_time fp + 30
     | Some _ -> horizon
   in
   let stats =
     Engine.run ~fp ~horizon ~quiesce_after ~seed ?scheduled ~on_tick
+      ~enabled:(fun ~pid ~time -> Algorithm1.enabled st ~pid ~time)
       ~step:(Algorithm1.step st) ()
   in
   {

@@ -30,6 +30,7 @@ val run :
   ?horizon:int ->
   ?mu:Mu.t ->
   ?scheduled:(int -> Pset.t) ->
+  ?enablement_cache:bool ->
   ?record_snapshots:bool ->
   topo:Topology.t ->
   fp:Failure_pattern.t ->
@@ -39,7 +40,9 @@ val run :
 (** [mu] defaults to [Mu.make ~seed topo fp] (valid histories of every
     component); pass an ablated bundle to run the weakened-detector
     experiments. [scheduled] restricts which processes may take steps
-    at each tick (P-fair runs of §6.2). *)
+    at each tick (P-fair runs of §6.2). [enablement_cache] (default
+    [true]) is forwarded to {!Algorithm1.create}; [false] runs the
+    reference stepper, which produces the same trace, slower. *)
 
 val deliveries_complete : outcome -> bool
 (** Every message invoked by a correct source is delivered at every

@@ -18,6 +18,11 @@ let of_crashes ~n crashes =
 let n fp = fp.n
 let crash_time fp p = fp.crash.(p)
 
+let max_crash_time fp =
+  Array.fold_left
+    (fun acc ct -> match ct with None -> acc | Some t -> max acc t)
+    0 fp.crash
+
 let is_crashed_at fp p t =
   match fp.crash.(p) with None -> false | Some ct -> ct <= t
 

@@ -18,6 +18,10 @@ val of_crashes : n:int -> (int * time) list -> t
 val n : t -> int
 val crash_time : t -> int -> time option
 
+val max_crash_time : t -> time
+(** Latest crash time in the pattern; [0] if no process ever crashes
+    (horizon arithmetic treats "no crash" and "crash at 0" alike). *)
+
 val crashed_at : t -> time -> Pset.t
 (** [F(t)]. *)
 

@@ -219,7 +219,7 @@ let pp fmt s = Format.pp_print_string fmt (to_string s)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(record_snapshots = false) s =
+let run ?(record_snapshots = false) ?enablement_cache s =
   (match validate s with
   | Ok () -> ()
   | Error e -> invalid_arg ("Scenario.run: " ^ e));
@@ -243,8 +243,8 @@ let run ?(record_snapshots = false) s =
               Pset.remove p (Pset.range s.n)
             else Pset.range s.n)
   in
-  Runner.run ~variant:s.variant ~seed:s.seed ?scheduled ~record_snapshots ~mu
-    ~topo ~fp ~workload ()
+  Runner.run ~variant:s.variant ~seed:s.seed ?scheduled ?enablement_cache
+    ~record_snapshots ~mu ~topo ~fp ~workload ()
 
 let liveness_gap s =
   let topo = topology s in

@@ -1,12 +1,39 @@
 type 'a entry = { mutable position : int; mutable is_locked : bool }
 
+(* The log keeps, besides the position table, an incrementally
+   maintained sorted index:
+
+   - [rev_index] lists every datum in DESCENDING log order [>_L]. An
+     [append] conses in O(1) (the fresh datum sits at [max_pos + 1],
+     strictly above everything else); a position-raising
+     [bump_and_lock] removes the datum and reinserts it further up
+     (O(|log|), and bumps are much rarer than reads).
+   - [sorted] caches the ascending view returned by [entries]; it is
+     rebuilt lazily — one [List.rev] of [rev_index] — after a mutation
+     invalidated it, so between mutations [entries] is O(1) and incurs
+     no allocation.
+
+   The index relies on [compare] being the a-priori *total* order of
+   the specification: distinct data never compare equal (the tie-break
+   of [<_L] must be able to order any two data sharing a slot). *)
 type 'a t = {
   compare : 'a -> 'a -> int;
   table : ('a, 'a entry) Hashtbl.t;
   mutable max_pos : int;
+  mutable rev_index : 'a list;
+  mutable sorted : 'a list;
+  mutable sorted_valid : bool;
 }
 
-let create ~compare:cmp = { compare = cmp; table = Hashtbl.create 16; max_pos = 0 }
+let create ~compare:cmp =
+  {
+    compare = cmp;
+    table = Hashtbl.create 16;
+    max_pos = 0;
+    rev_index = [];
+    sorted = [];
+    sorted_valid = true;
+  }
 
 let head log = log.max_pos + 1
 
@@ -21,7 +48,9 @@ let append log d =
   | None ->
       let p = head log in
       Hashtbl.replace log.table d { position = p; is_locked = false };
-      log.max_pos <- max log.max_pos p;
+      log.max_pos <- p;
+      log.rev_index <- d :: log.rev_index;
+      log.sorted_valid <- false;
       p
 
 let locked log d =
@@ -29,14 +58,36 @@ let locked log d =
   | None -> false
   | Some e -> e.is_locked
 
+(* [d' >_L d] given [d']'s entry and [d]'s target slot — the order the
+   descending index is kept in. *)
+let above log e' d' ~position ~datum =
+  e'.position > position || (e'.position = position && log.compare d' datum > 0)
+
+let reposition log d position =
+  let without =
+    List.filter (fun d' -> log.compare d' d <> 0) log.rev_index
+  in
+  let rec insert = function
+    | [] -> [ d ]
+    | d' :: rest as l ->
+        let e' = Hashtbl.find log.table d' in
+        if above log e' d' ~position ~datum:d then d' :: insert rest
+        else d :: l
+  in
+  log.rev_index <- insert without;
+  log.sorted_valid <- false
+
 let bump_and_lock log d k =
   match Hashtbl.find_opt log.table d with
   | None -> invalid_arg "Log.bump_and_lock: datum not in the log"
   | Some e ->
       if not e.is_locked then begin
-        e.position <- max k e.position;
-        e.is_locked <- true;
-        log.max_pos <- max log.max_pos e.position
+        if k > e.position then begin
+          e.position <- k;
+          log.max_pos <- max log.max_pos k;
+          reposition log d k
+        end;
+        e.is_locked <- true
       end
 
 let lt log d d' =
@@ -45,13 +96,39 @@ let lt log d d' =
   || (e.position = e'.position && log.compare d d' < 0)
 
 let entries log =
-  Hashtbl.fold (fun d e acc -> (d, e.position) :: acc) log.table []
-  |> List.sort (fun (d, p) (d', p') ->
-         if p <> p' then Int.compare p p' else log.compare d d')
-  |> List.map fst
+  if not log.sorted_valid then begin
+    log.sorted <- List.rev log.rev_index;
+    log.sorted_valid <- true
+  end;
+  log.sorted
+
+(* Strict predecessors are a prefix of the ascending index: walk it and
+   stop at the first datum not below [d] — O(predecessors), not
+   O(|log| log |log|). *)
+let fold_before_exn name log d f init =
+  match Hashtbl.find_opt log.table d with
+  | None -> invalid_arg (name ^ ": datum not in the log")
+  | Some e ->
+      let position = e.position in
+      let rec go acc = function
+        | [] -> acc
+        | d' :: rest ->
+            let e' = Hashtbl.find log.table d' in
+            if
+              e'.position < position
+              || (e'.position = position && log.compare d' d < 0)
+            then go (f acc d') rest
+            else acc
+      in
+      go init (entries log)
+
+let fold_before log d f init = fold_before_exn "Log.fold_before" log d f init
 
 let before log d =
-  if not (mem log d) then invalid_arg "Log.before: datum not in the log";
-  List.filter (fun d' -> log.compare d d' <> 0 && lt log d' d) (entries log)
+  List.rev
+    (fold_before_exn "Log.before" log d (fun acc d' -> d' :: acc) [])
+
+let fold_entries log f init =
+  List.fold_left f init (entries log)
 
 let length log = Hashtbl.length log.table

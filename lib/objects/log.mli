@@ -16,7 +16,9 @@
 type 'a t
 
 val create : compare:('a -> 'a -> int) -> 'a t
-(** [compare] is the a-priori total order used for slot-sharing ties. *)
+(** [compare] is the a-priori total order used for slot-sharing ties.
+    It must be a {e total} order: distinct data never compare equal
+    (the incremental sorted index identifies data through it). *)
 
 val append : 'a t -> 'a -> int
 (** Insert at the head slot and return the datum's position. Does
@@ -40,10 +42,23 @@ val lt : 'a t -> 'a -> 'a -> bool
 (** [lt log d d']: the order [d <_L d'] (both data must be present). *)
 
 val entries : 'a t -> 'a list
-(** All data in log order (increasing [<_L]). *)
+(** All data in log order (increasing [<_L]). Amortized O(1): the
+    sorted index is maintained incrementally across [append] and
+    [bump_and_lock], and only rebuilt (one list reversal) on the first
+    read after a mutation. *)
 
 val before : 'a t -> 'a -> 'a list
 (** All data strictly smaller than the given datum (which must be
-    present) in the log order. *)
+    present) in the log order. O(predecessors). *)
+
+val fold_before : 'a t -> 'a -> ('b -> 'a -> 'b) -> 'b -> 'b
+(** [fold_before log d f init]: fold [f] over the strict predecessors
+    of [d] in ascending log order, without materialising a list — the
+    allocation-free [before] for hot loops. Raises [Invalid_argument]
+    if [d] is absent. *)
+
+val fold_entries : 'a t -> ('b -> 'a -> 'b) -> 'b -> 'b
+(** Fold over all entries in ascending log order (allocation-free
+    [entries] for hot loops). *)
 
 val length : 'a t -> int

@@ -6,31 +6,65 @@ type stats = {
 }
 
 let run ~fp ~horizon ?(quiesce_after = 0) ?(seed = 1) ?scheduled
+    ?(enabled = fun ~pid:(_ : int) ~time:(_ : int) -> true)
     ?(steps_per_tick = 1) ?(on_tick = fun (_ : int) -> ()) ~step () =
   let n = Failure_pattern.n fp in
   let rng = Rng.make seed in
   let steps = Array.make n 0 in
   let executed = ref 0 in
-  let everyone = Pset.range n in
+  (* The alive set only changes at crash times, and the per-tick
+     shuffle consumes one draw sequence per |sched| regardless of the
+     elements — so the scheduled set and its element list can be
+     reused across ticks whenever they are unchanged, without touching
+     the RNG stream. *)
+  let max_crash = Failure_pattern.max_crash_time fp in
+  let alive_memo = ref None in
+  let alive t =
+    if t < max_crash then Failure_pattern.alive_at fp t
+    else
+      match !alive_memo with
+      | Some a -> a
+      | None ->
+          let a = Failure_pattern.alive_at fp t in
+          alive_memo := Some a;
+          a
+  in
+  let order_memo = ref (Pset.empty, []) in
+  let elements sched =
+    let cached_set, cached_list = !order_memo in
+    if Pset.equal sched cached_set then cached_list
+    else begin
+      let l = Pset.to_list sched in
+      order_memo := (sched, l);
+      l
+    end
+  in
   let rec tick t =
     if t > horizon then { steps; executed = !executed; ticks_used = t; quiescent = false }
     else begin
       on_tick t;
-      let base = match scheduled with None -> everyone | Some f -> f t in
-      let sched = Pset.inter base (Failure_pattern.alive_at fp t) in
-      let order = Rng.shuffle rng (Pset.to_list sched) in
+      let sched =
+        match scheduled with
+        | None -> alive t
+        | Some f -> Pset.inter (f t) (alive t)
+      in
+      let order = Rng.shuffle rng (elements sched) in
       let any = ref false in
       List.iter
         (fun p ->
-          let rec attempts k =
-            if k > 0 && step ~pid:p ~time:t then begin
-              steps.(p) <- steps.(p) + 1;
-              incr executed;
-              any := true;
-              attempts (k - 1)
-            end
-          in
-          attempts steps_per_tick)
+          (* The hint only short-circuits the step call: the shuffle
+             above already consumed the tick's RNG draw over the full
+             scheduled set, so runs with and without it are identical. *)
+          if enabled ~pid:p ~time:t then
+            let rec attempts k =
+              if k > 0 && step ~pid:p ~time:t then begin
+                steps.(p) <- steps.(p) + 1;
+                incr executed;
+                any := true;
+                attempts (k - 1)
+              end
+            in
+            attempts steps_per_tick)
         order;
       if (not !any) && t >= quiesce_after then
         { steps; executed = !executed; ticks_used = t; quiescent = true }

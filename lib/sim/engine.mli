@@ -25,6 +25,7 @@ val run :
   ?quiesce_after:int ->
   ?seed:int ->
   ?scheduled:(int -> Pset.t) ->
+  ?enabled:(pid:int -> time:int -> bool) ->
   ?steps_per_tick:int ->
   ?on_tick:(int -> unit) ->
   step:(pid:int -> time:int -> bool) ->
@@ -33,4 +34,11 @@ val run :
 (** [quiesce_after] (default [0]): earliest tick at which the engine
     may stop because a full tick passed with no action executed. Set it
     beyond every crash time and detector delay, since guards can become
-    enabled by time alone. *)
+    enabled by time alone.
+
+    [enabled] (default: always [true]) is a sound-to-skip hint: when it
+    returns [false] the engine does not call [step] for that process at
+    that tick. It must return [false] only when no action of [pid] can
+    execute, so a skipped call would have returned [false] anyway. The
+    per-tick RNG shuffle still covers the full scheduled set, so the
+    draw sequence — and hence the run — is unchanged by the hint. *)

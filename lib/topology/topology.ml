@@ -5,6 +5,10 @@ type t = {
   groups : Pset.t array;
   (* [inters.(g).(h)] caches g ∩ h. *)
   inters : Pset.t array array;
+  (* Memo for the (pure, deterministic) full-size cyclic-family
+     enumeration: recomputed per detector construction otherwise,
+     which dominates [Mu.make] on cyclic topologies. *)
+  mutable cyc_memo : int list list option;
 }
 
 let create ~n groups_list =
@@ -29,7 +33,7 @@ let create ~n groups_list =
   let inters =
     Array.init k (fun i -> Array.init k (fun j -> Pset.inter groups.(i) groups.(j)))
   in
-  { n; groups; inters }
+  { n; groups; inters; cyc_memo = None }
 
 let n t = t.n
 let processes t = Pset.range t.n
@@ -124,9 +128,8 @@ let is_cyclic t fam = cpaths t fam <> []
    equivalent to — and exponentially cheaper than — testing every
    subset of groups: topologies with many disjoint or sparsely
    intersecting groups have few cycles. *)
-let cyclic_families ?max_size t =
+let cyclic_families_uncached ~limit t =
   let k = num_groups t in
-  let limit = match max_size with Some m -> m | None -> k in
   let adjacent g h = g <> h && intersecting t g h in
   let seen = Hashtbl.create 64 in
   (* Cycles rooted at their smallest vertex: extend simple paths with
@@ -147,6 +150,17 @@ let cyclic_families ?max_size t =
   done;
   List.sort (List.compare Int.compare)
     (Hashtbl.fold (fun fam () acc -> fam :: acc) seen [])
+
+let cyclic_families ?max_size t =
+  match max_size with
+  | Some m -> cyclic_families_uncached ~limit:m t
+  | None -> (
+      match t.cyc_memo with
+      | Some fams -> fams
+      | None ->
+          let fams = cyclic_families_uncached ~limit:(num_groups t) t in
+          t.cyc_memo <- Some fams;
+          fams)
 
 let families_of_group _t families g =
   List.filter (fun fam -> List.mem g fam) families

@@ -48,9 +48,19 @@ let remove p (s : t) =
 
 let of_list ps = List.fold_left (fun s p -> add p s) empty ps
 
+(* Whole-word fill: [range] sits on the simulator's per-tick path
+   (alive-set computation), so building it one [add] at a time — one
+   array copy per element — is measurably hot. *)
 let range n =
-  let rec loop i s = if i >= n then s else loop (i + 1) (add i s) in
-  loop 0 empty
+  if n <= 0 then empty
+  else begin
+    let full = (1 lsl bits_per_word) - 1 in
+    let nw = (n + bits_per_word - 1) / bits_per_word in
+    let a = Array.make nw full in
+    let rem = n mod bits_per_word in
+    if rem <> 0 then a.(nw - 1) <- (1 lsl rem) - 1;
+    a
+  end
 
 let is_empty (s : t) = Array.length s = 0
 
@@ -124,8 +134,20 @@ let fold f (s : t) init =
 let iter f s = fold (fun p () -> f p) s ()
 let to_list s = List.rev (fold (fun p acc -> p :: acc) s [])
 
-let min_elt s =
-  match to_list s with [] -> None | p :: _ -> Some p
+(* Scan words directly for the lowest set bit instead of materialising
+   the whole element list just to take its head. *)
+let min_elt (s : t) =
+  let len = Array.length s in
+  let rec scan i =
+    if i >= len then None
+    else
+      let w = s.(i) in
+      if w = 0 then scan (i + 1)
+      else
+        let b = w land -w in
+        Some ((i * bits_per_word) + popcount (b - 1))
+  in
+  scan 0
 
 let choose s =
   match min_elt s with Some p -> p | None -> raise Not_found

@@ -42,5 +42,6 @@ let () =
       ("substrate", Test_substrate.suite);
       ("cht", Test_cht.suite);
       ("fuzz", Test_fuzz.suite);
+      ("trace identity", Test_trace_identity.suite);
       ("experiments", [ Alcotest.test_case "sections render" `Quick experiments_sanity ]);
     ]

@@ -63,6 +63,39 @@ let log_laws =
           ok_monotone && ok_lock && ok_presence)
         ops)
 
+(* The incremental sorted index stays equal to a from-scratch re-sort
+   after every operation, and the fold views agree with the lists. *)
+let log_index_matches_naive =
+  QCheck.Test.make ~name:"log incremental index = naive re-sort" ~count:200
+    QCheck.(small_list (pair (int_range 0 8) (int_range 0 10)))
+    (fun ops ->
+      let l = Log.create ~compare:Int.compare in
+      let inserted = ref [] in
+      List.for_all
+        (fun (d, k) ->
+          (if k = 0 || not (Log.mem l d) then begin
+             if not (Log.mem l d) then inserted := d :: !inserted;
+             ignore (Log.append l d)
+           end
+           else Log.bump_and_lock l d k);
+          let naive =
+            List.sort
+              (fun a b ->
+                let c = Int.compare (Log.pos l a) (Log.pos l b) in
+                if c <> 0 then c else Int.compare a b)
+              !inserted
+          in
+          Log.entries l = naive
+          && Log.fold_entries l (fun acc x -> x :: acc) [] = List.rev naive
+          && List.for_all
+               (fun d ->
+                 let before = Log.before l d in
+                 before = List.filter (fun d' -> d' <> d && Log.lt l d' d) naive
+                 && List.rev (Log.fold_before l d (fun acc x -> x :: acc) [])
+                    = before)
+               naive)
+        ops)
+
 (* -------------------- consensus objects --------------------------- *)
 
 let consensus_table () =
@@ -161,4 +194,5 @@ let suite =
     t "engine crash & schedule" `Quick engine_crash_and_schedule;
     t "engine quiescence" `Quick engine_quiescence;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ log_laws; adopt_commit_laws ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ log_laws; log_index_matches_naive; adopt_commit_laws ]

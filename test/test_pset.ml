@@ -69,6 +69,18 @@ let qcheck_props =
     QCheck.Test.make ~name:"compare consistent with equal" ~count:200
       (QCheck.pair gen_pset gen_pset) (fun (a, b) ->
         Pset.equal a b = (Pset.compare a b = 0));
+    (* the word-scanning min_elt agrees with the head of the sorted
+       element list (and choose with min_elt) *)
+    QCheck.Test.make ~name:"min_elt = head of to_list" ~count:300 gen_pset
+      (fun s ->
+        let expected =
+          match Pset.to_list s with [] -> None | p :: _ -> Some p
+        in
+        Pset.min_elt s = expected
+        &&
+        match expected with
+        | None -> ( match Pset.choose s with _ -> false | exception Not_found -> true)
+        | Some p -> Pset.choose s = p);
   ]
 
 (* compare/hash are representation-stable: the same set built in any
