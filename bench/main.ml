@@ -203,7 +203,7 @@ let run_benchmarks () =
 (* The Algorithm 1 scaling suite (see scaling.ml)                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_scaling () =
+let rec run_scaling () =
   let quota_ms =
     match arg_value "--quota-ms" with Some q when q >= 0 -> q | _ -> 500
   in
@@ -229,7 +229,33 @@ let run_scaling () =
           Out_channel.with_open_bin path (fun oc ->
               Out_channel.output_string oc
                 (Scaling.json_trajectory ~label ~quota_ms results)))
-        (arg_string "--out"))
+        (arg_string "--out"));
+  run_checker_scaling ~quota_ms ~smoke ~label ()
+
+(* The checker counterpart (see checker_scaling.ml): same flags, its
+   own output file via --checker-out. In JSON mode nothing is printed
+   unless --checker-out is absent, so `--format json` without --out
+   still emits exactly one document per suite on stdout. *)
+and run_checker_scaling ~quota_ms ~smoke ~label () =
+  let results = Checker_scaling.run_all ~quota_ms ~smoke in
+  match arg_string "--format" with
+  | Some "json" -> (
+      let json = Checker_scaling.json_trajectory ~label ~quota_ms results in
+      match arg_string "--checker-out" with
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc json);
+          Printf.printf "checker suite written to %s (%d cases)\n" path
+            (List.length results)
+      | None -> print_string json)
+  | _ ->
+      Checker_scaling.print_text results;
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc
+                (Checker_scaling.json_trajectory ~label ~quota_ms results)))
+        (arg_string "--checker-out")
 
 let () =
   let skip_bench = has_flag "--no-bench" in

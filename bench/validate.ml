@@ -1,14 +1,18 @@
-(* Schema check for the BENCH_algorithm1.json trajectory.
+(* Schema check for the BENCH_*.json trajectories.
 
    Usage: validate.exe FILE...
 
    Each file must parse as JSON and match the amcast-bench-trajectory/v1
-   shape: a top-level object with the schema marker, a "suite" string
-   and a non-empty "entries" array; every entry carries a "label" and a
-   non-empty "cases" array; every case carries a name, positive
-   ns_per_run, non-negative steps_per_sec/consensus_instances and a
-   "complete" boolean. Exits non-zero with a message naming the file
-   and the offending path on any mismatch.
+   shape: a top-level object with the schema marker, a known "suite"
+   string and a non-empty "entries" array; every entry carries a
+   "label" and a non-empty "cases" array. Per-case fields depend on the
+   suite: "algorithm1-scaling" cases carry name/ns_per_run/
+   steps_per_sec/consensus_instances/complete; "checker-scaling" cases
+   carry name/ref_ns_per_check/ns_per_check/speedup/events and a
+   verdicts_equal flag that must be true (a recorded disagreement
+   between the indexed and reference checkers is a schema violation).
+   Exits non-zero with a message naming the file and the offending path
+   on any mismatch.
 
    The parser below is a deliberately tiny recursive-descent JSON
    reader — enough for the machine-generated files we emit; no external
@@ -185,7 +189,9 @@ let as_arr path = function
   | Arr l -> l
   | _ -> schema_fail path "expected an array"
 
-let check_case path c =
+(* Per-case checks, dispatched on the top-level "suite" string. *)
+
+let check_algorithm1_case path c =
   let name = as_string (path ^ ".name") (field path c "name") in
   let path = Printf.sprintf "%s(%s)" path name in
   let num k = as_num (path ^ "." ^ k) (field path c k) in
@@ -195,7 +201,22 @@ let check_case path c =
     schema_fail path "consensus_instances must be >= 0";
   ignore (as_bool (path ^ ".complete") (field path c "complete"))
 
-let check_entry i e =
+let check_checker_case path c =
+  let name = as_string (path ^ ".name") (field path c "name") in
+  let path = Printf.sprintf "%s(%s)" path name in
+  let num k = as_num (path ^ "." ^ k) (field path c k) in
+  if num "ref_ns_per_check" <= 0. then
+    schema_fail path "ref_ns_per_check must be > 0";
+  if num "ns_per_check" <= 0. then schema_fail path "ns_per_check must be > 0";
+  if num "speedup" <= 0. then schema_fail path "speedup must be > 0";
+  if num "events" < 0. then schema_fail path "events must be >= 0";
+  (* Verdict identity is part of the schema: a trajectory recording a
+     disagreement between the indexed and reference checkers is
+     invalid, full stop. *)
+  if not (as_bool (path ^ ".verdicts_equal") (field path c "verdicts_equal"))
+  then schema_fail path "verdicts_equal must be true"
+
+let check_entry check_case i e =
   let path = Printf.sprintf "entries[%d]" i in
   let label = as_string (path ^ ".label") (field path e "label") in
   let path = Printf.sprintf "%s(%s)" path label in
@@ -207,10 +228,16 @@ let check_trajectory j =
   let schema = as_string "schema" (field "top" j "schema") in
   if schema <> "amcast-bench-trajectory/v1" then
     schema_fail "schema" ("unknown schema " ^ schema);
-  ignore (as_string "suite" (field "top" j "suite"));
+  let suite = as_string "suite" (field "top" j "suite") in
+  let check_case =
+    match suite with
+    | "algorithm1-scaling" -> check_algorithm1_case
+    | "checker-scaling" -> check_checker_case
+    | _ -> schema_fail "suite" ("unknown suite " ^ suite)
+  in
   let entries = as_arr "entries" (field "top" j "entries") in
   if entries = [] then schema_fail "entries" "must be non-empty";
-  List.iteri check_entry entries
+  List.iteri (check_entry check_case) entries
 
 let check_file file =
   let text = In_channel.with_open_bin file In_channel.input_all in

@@ -71,7 +71,7 @@ let run ?(seed = 1) ?horizon ~topo ~fp ~workload () =
     workload;
     fp;
     variant = Algorithm1.Vanilla;
-    trace = { Trace.events = List.rev st.events; n = Topology.n topo };
+    trace = Trace.make ~n:(Topology.n topo) (List.rev st.events);
     stats;
     snapshots = [];
     final_logs = [];

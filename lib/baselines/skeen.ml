@@ -131,7 +131,7 @@ let run ?(seed = 1) ?horizon ~topo ~fp ~workload () =
     workload;
     fp;
     variant = Algorithm1.Vanilla;
-    trace = { Trace.events = List.rev st.events; n };
+    trace = Trace.make ~n (List.rev st.events);
     stats;
     snapshots = [];
     final_logs = [];

@@ -1,8 +1,33 @@
+(* The pre-indexing claim checker, kept verbatim as the reference
+   implementation (see Properties_ref). Trace queries are the original
+   O(|events|) scans; claim 9 uses [Properties_ref.delivery_edges]. *)
+
 type verdict = (unit, string) result
 
 let fail fmt = Format.kasprintf (fun s -> Error s) fmt
 
 let ( let* ) = Result.bind
+
+(* Naive trace queries (the pre-PR5 bodies of lib/core/trace.ml). *)
+
+let deliveries tr =
+  List.filter_map
+    (function
+      | Trace.Deliver { m; p; time; seq } -> Some (p, m, time, seq) | _ -> None)
+    tr.Trace.events
+
+let delivered_at tr ~p ~m =
+  List.exists
+    (function Trace.Deliver d -> d.p = p && d.m = m | _ -> false)
+    tr.Trace.events
+
+let phase_history tr ~p ~m =
+  List.filter_map
+    (function
+      | Trace.Phase_change pc when pc.p = p && pc.m = m -> Some pc.phase
+      | Trace.Deliver d when d.p = p && d.m = m -> Some Trace.Delivered
+      | _ -> None)
+    tr.Trace.events
 
 (* Fold a check over consecutive snapshot pairs (final state included). *)
 let consecutive outcome f =
@@ -172,20 +197,16 @@ let claim8 outcome =
             (Ok ()) (log_assoc a key))
         (Ok ()) (keys_of a b))
 
+let dst outcome m =
+  (Workload.message outcome.Runner.workload m).Amsg.dst
+
 let claim9 outcome =
-  let cx = Outcome_index.make outcome in
   let tr = outcome.Runner.trace in
-  let ids = Outcome_index.ids cx in
-  let bd = Outcome_index.bound cx in
-  (* The old check recomputed the ↦ edge list inside the pair loop;
-     compute it once and flatten it (symmetrically) into a matrix. *)
-  let rel = Bytes.make (bd * bd) '\000' in
-  List.iter
-    (fun (a, b) ->
-      Bytes.set rel ((a * bd) + b) '\001';
-      Bytes.set rel ((b * bd) + a) '\001')
-    (Properties.delivery_edges outcome);
-  let related m m' = Bytes.get rel ((m * bd) + m') <> '\000' in
+  let ids = List.map (fun m -> m.Amsg.id) (Workload.messages outcome.Runner.workload) in
+  let related m m' =
+    List.exists (fun (a, b) -> (a = m && b = m') || (a = m' && b = m))
+      (Properties_ref.delivery_edges outcome)
+  in
   (* Claim 9 as stated quantifies over del(m) anywhere, but the ↦ edges
      only arise from deliveries inside the common destination members;
      when every member of the intersection crashes before delivering
@@ -193,7 +214,7 @@ let claim9 outcome =
      claim in the form its uses need: a delivery of either message at a
      common member relates the pair. *)
   let delivered_at_common common m =
-    Pset.exists (fun p -> Trace.delivered_at tr ~p ~m) common
+    Pset.exists (fun p -> delivered_at tr ~p ~m) common
   in
   List.fold_left
     (fun acc m ->
@@ -202,7 +223,9 @@ let claim9 outcome =
         (fun acc m' ->
           let* () = acc in
           let common =
-            Pset.inter (Outcome_index.dst cx m) (Outcome_index.dst cx m')
+            Pset.inter
+              (Topology.group outcome.Runner.topo (dst outcome m))
+              (Topology.group outcome.Runner.topo (dst outcome m'))
           in
           if m >= m' then Ok ()
           else if
@@ -215,7 +238,6 @@ let claim9 outcome =
     (Ok ()) ids
 
 let claim10 outcome =
-  let cx = Outcome_index.make outcome in
   List.fold_left
     (fun acc ((g, h), entries) ->
       let* () = acc in
@@ -224,7 +246,7 @@ let claim10 outcome =
           let* () = acc in
           match d with
           | Algorithm1.Msg m ->
-              let dm = Outcome_index.gid cx m in
+              let dm = dst outcome m in
               if dm = g || dm = h then Ok ()
               else fail "claim 10: m%d in LOG_{g%d∩g%d}" m g h
           | Algorithm1.Pend _ | Algorithm1.Stab _ -> Ok ())
@@ -232,7 +254,6 @@ let claim10 outcome =
     (Ok ()) outcome.Runner.final_logs
 
 let claim11 outcome =
-  let cx = Outcome_index.make outcome in
   List.fold_left
     (fun acc ((g, h), entries) ->
       let* () = acc in
@@ -250,56 +271,39 @@ let claim11 outcome =
               if m >= m' then Ok ()
               else
                 let ok x = x = g || x = h in
-                if ok (Outcome_index.gid cx m) && ok (Outcome_index.gid cx m')
-                then Ok ()
+                if ok (dst outcome m) && ok (dst outcome m') then Ok ()
                 else fail "claim 11: m%d, m%d share LOG_{g%d∩g%d}" m m' g h)
             (Ok ()) msgs)
         (Ok ()) msgs)
     (Ok ()) outcome.Runner.final_logs
 
 let claim12 outcome =
-  let cx = Outcome_index.make outcome in
   List.fold_left
     (fun acc (p, m, _, _) ->
       let* () = acc in
-      if Pset.mem p (Outcome_index.dst cx m) then Ok ()
+      if Pset.mem p (Topology.group outcome.Runner.topo (dst outcome m)) then Ok ()
       else fail "claim 12: p%d delivered m%d outside dst" p m)
     (Ok ())
-    (Trace.deliveries outcome.Runner.trace)
+    (deliveries outcome.Runner.trace)
 
 let claim13 outcome =
-  let cx = Outcome_index.make outcome in
-  (* Per destination group, the set of message ids in LOG_g; built on
-     first use so each log is scanned once instead of per delivery. *)
-  let memo = Hashtbl.create 8 in
-  let log_has g m =
-    let tbl =
-      match Hashtbl.find_opt memo g with
-      | Some tbl -> tbl
-      | None ->
-          let tbl = Hashtbl.create 16 in
-          (match List.assoc_opt (g, g) outcome.Runner.final_logs with
-          | Some entries ->
-              List.iter
-                (fun (d, _, _) ->
-                  match d with
-                  | Algorithm1.Msg m' -> Hashtbl.replace tbl m' ()
-                  | _ -> ())
-                entries
-          | None -> ());
-          Hashtbl.replace memo g tbl;
-          tbl
-    in
-    Hashtbl.mem tbl m
-  in
   List.fold_left
     (fun acc (_, m, _, _) ->
       let* () = acc in
-      let g = Outcome_index.gid cx m in
-      if log_has g m then Ok ()
+      let g = dst outcome m in
+      let entries = match List.assoc_opt (g, g) outcome.Runner.final_logs with
+        | Some e -> e
+        | None -> []
+      in
+      if
+        List.exists
+          (fun (d, _, _) ->
+            match d with Algorithm1.Msg m' -> m' = m | _ -> false)
+          entries
+      then Ok ()
       else fail "claim 13: delivered m%d missing from LOG_g%d" m g)
     (Ok ())
-    (Trace.deliveries outcome.Runner.trace)
+    (deliveries outcome.Runner.trace)
 
 let expected_progression =
   [ Trace.Pending; Trace.Commit; Trace.Stable; Trace.Delivered ]
@@ -309,10 +313,10 @@ let claim14 outcome =
   List.fold_left
     (fun acc (p, m, _, _) ->
       let* () = acc in
-      let hist = Trace.phase_history tr ~p ~m in
+      let hist = phase_history tr ~p ~m in
       if hist = expected_progression then Ok ()
       else fail "claim 14: m%d at p%d skipped a phase" m p)
-    (Ok ()) (Trace.deliveries tr)
+    (Ok ()) (deliveries tr)
 
 let claim15 outcome =
   let tr = outcome.Runner.trace in

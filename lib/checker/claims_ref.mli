@@ -1,0 +1,22 @@
+(** The pre-indexing Table-2 claim checker, kept as a frozen reference
+    (see {!Properties_ref}). Semantically identical to {!Claims}; the
+    verdict-identity suite compares the two over the corpus and
+    generated sweeps. *)
+
+type verdict = (unit, string) result
+
+val claim2 : Runner.outcome -> verdict
+val claim3 : Runner.outcome -> verdict
+val claim4 : Runner.outcome -> verdict
+val claim5 : Runner.outcome -> verdict
+val claim6 : Runner.outcome -> verdict
+val claim7 : Runner.outcome -> verdict
+val claim8 : Runner.outcome -> verdict
+val claim9 : Runner.outcome -> verdict
+val claim10 : Runner.outcome -> verdict
+val claim11 : Runner.outcome -> verdict
+val claim12 : Runner.outcome -> verdict
+val claim13 : Runner.outcome -> verdict
+val claim14 : Runner.outcome -> verdict
+val claim15 : Runner.outcome -> verdict
+val all : Runner.outcome -> (string * verdict) list

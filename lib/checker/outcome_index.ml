@@ -1,0 +1,42 @@
+(* Memoized message lookups over an outcome. [Workload.message] is a
+   linear scan of the workload list, and the property checkers probe it
+   from inside O(M²·n) loops; this context resolves each id once into
+   dense arrays. Unknown ids raise [Not_found], exactly like
+   [Workload.message] (List.find), so the lazy failure behavior of the
+   unindexed checkers is preserved. *)
+
+type t = {
+  outcome : Runner.outcome;
+  ids : int list;  (* workload message ids, in workload order *)
+  bound : int;  (* exclusive id bound: 1 + max id *)
+  msgs : Amsg.t option array;  (* by id; None = not in the workload *)
+  dsts : Pset.t array;  (* by id; members of the destination group *)
+}
+
+let make outcome =
+  let msgs_list = Workload.messages outcome.Runner.workload in
+  let ids = List.map (fun m -> m.Amsg.id) msgs_list in
+  let bound = List.fold_left (fun b id -> max b (id + 1)) 0 ids in
+  let msgs = Array.make bound None in
+  let dsts = Array.make bound Pset.empty in
+  List.iter
+    (fun m ->
+      msgs.(m.Amsg.id) <- Some m;
+      dsts.(m.Amsg.id) <- Topology.group outcome.Runner.topo m.Amsg.dst)
+    msgs_list;
+  { outcome; ids; bound; msgs; dsts }
+
+let outcome cx = cx.outcome
+let ids cx = cx.ids
+let bound cx = cx.bound
+let known cx m = m >= 0 && m < cx.bound && cx.msgs.(m) <> None
+
+let message cx m =
+  if m < 0 || m >= cx.bound then raise Not_found
+  else match cx.msgs.(m) with Some msg -> msg | None -> raise Not_found
+
+let gid cx m = (message cx m).Amsg.dst
+
+let dst cx m =
+  if m < 0 || m >= cx.bound || cx.msgs.(m) = None then raise Not_found
+  else cx.dsts.(m)

@@ -1,0 +1,35 @@
+(** Memoized message lookups over a run outcome.
+
+    The property and claim checkers resolve message ids to their
+    [Amsg.t] and destination group from inside nested loops;
+    [Workload.message] is a linear scan, so those probes dominated
+    checking time. A context resolves every workload id once into
+    dense arrays keyed by id.
+
+    Lookups on ids outside the workload raise [Not_found], exactly
+    like [Workload.message], so checkers keep their pre-indexing
+    failure behavior on malformed traces. *)
+
+type t
+
+val make : Runner.outcome -> t
+
+val outcome : t -> Runner.outcome
+val ids : t -> int list
+(** Workload message ids, in workload order. *)
+
+val bound : t -> int
+(** Exclusive id bound: [1 + max id] over the workload ([0] when
+    empty). Suitable for sizing id-keyed arrays. *)
+
+val known : t -> int -> bool
+(** Whether an id belongs to the workload. Never raises. *)
+
+val message : t -> int -> Amsg.t
+(** Message by id. Raises [Not_found] on unknown ids. *)
+
+val gid : t -> int -> Topology.gid
+(** Destination group index of a message. Raises [Not_found]. *)
+
+val dst : t -> int -> Pset.t
+(** Members of the destination group. Raises [Not_found]. *)

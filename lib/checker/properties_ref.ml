@@ -1,0 +1,331 @@
+(* The pre-indexing property checker, kept verbatim as the reference
+   implementation. Every trace query here is the original O(|events|)
+   cons-list scan, and every [dst]/[Workload.message] lookup is the
+   original linear scan of the workload — this module is what the
+   indexed [Properties] must agree with verdict-for-verdict (including
+   failure strings), and what the checker-scaling bench reports as the
+   "pre" trajectory. Do not optimize it. *)
+
+type verdict = (unit, string) result
+
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Naive trace queries (the pre-PR5 bodies of lib/core/trace.ml)       *)
+(* ------------------------------------------------------------------ *)
+
+let deliveries tr =
+  List.filter_map
+    (function
+      | Trace.Deliver { m; p; time; seq } -> Some (p, m, time, seq) | _ -> None)
+    tr.Trace.events
+
+let delivered_at tr ~p ~m =
+  List.exists
+    (function Trace.Deliver d -> d.p = p && d.m = m | _ -> false)
+    tr.Trace.events
+
+let delivery_seq tr ~p ~m =
+  List.find_map
+    (function
+      | Trace.Deliver d when d.p = p && d.m = m -> Some d.seq | _ -> None)
+    tr.Trace.events
+
+let first_delivery_seq tr ~m =
+  List.find_map
+    (function Trace.Deliver d when d.m = m -> Some d.seq | _ -> None)
+    tr.Trace.events
+
+let invoke_seq tr ~m =
+  List.find_map
+    (function Trace.Invoke i when i.m = m -> Some i.seq | _ -> None)
+    tr.Trace.events
+
+let invoked tr =
+  List.filter_map
+    (function Trace.Invoke i -> Some i.m | _ -> None)
+    tr.Trace.events
+
+(* ------------------------------------------------------------------ *)
+(* The checks (the pre-PR5 bodies of properties.ml)                    *)
+(* ------------------------------------------------------------------ *)
+
+let message_ids outcome =
+  List.map (fun m -> m.Amsg.id) (Workload.messages outcome.Runner.workload)
+
+let dst outcome m =
+  Topology.group outcome.Runner.topo
+    (Workload.message outcome.Runner.workload m).Amsg.dst
+
+let integrity outcome =
+  let tr = outcome.Runner.trace in
+  let dels = deliveries tr in
+  (* At most once per (p, m). *)
+  let seen = Hashtbl.create 64 in
+  let rec once = function
+    | [] -> Ok ()
+    | (p, m, _, _) :: rest ->
+        if Hashtbl.mem seen (p, m) then
+          fail "integrity: m%d delivered twice at p%d" m p
+        else begin
+          Hashtbl.replace seen (p, m) ();
+          once rest
+        end
+  in
+  Result.bind (once dels) (fun () ->
+      List.fold_left
+        (fun acc (p, m, _, seq) ->
+          Result.bind acc (fun () ->
+              if not (Pset.mem p (dst outcome m)) then
+                fail "integrity: p%d delivered m%d outside its destination group"
+                  p m
+              else
+                match invoke_seq tr ~m with
+                | Some s when s < seq -> Ok ()
+                | _ -> fail "integrity: m%d delivered before being multicast" m))
+        (Ok ()) dels)
+
+let termination outcome =
+  let tr = outcome.Runner.trace in
+  let correct = Failure_pattern.correct outcome.Runner.fp in
+  let needs_delivery m =
+    let msg = Workload.message outcome.Runner.workload m in
+    let invoked = invoke_seq tr ~m <> None in
+    let src_correct = Pset.mem msg.Amsg.src correct in
+    let delivered_somewhere =
+      Pset.exists (fun p -> delivered_at tr ~p ~m) (dst outcome m)
+    in
+    (invoked && src_correct) || delivered_somewhere
+  in
+  List.fold_left
+    (fun acc m ->
+      Result.bind acc (fun () ->
+          if not (needs_delivery m) then Ok ()
+          else
+            Pset.fold
+              (fun p acc ->
+                Result.bind acc (fun () ->
+                    if delivered_at tr ~p ~m then Ok ()
+                    else fail "termination: correct p%d never delivered m%d" p m))
+              (Pset.inter correct (dst outcome m))
+              (Ok ())))
+    (Ok ()) (message_ids outcome)
+
+(* Edges of ↦: m → m' when some p ∈ dst(m) ∩ dst(m') delivers m while
+   not having delivered m'. *)
+let delivery_edges outcome =
+  let tr = outcome.Runner.trace in
+  let ids = message_ids outcome in
+  let edges = ref [] in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun m' ->
+          if m <> m' then
+            let common = Pset.inter (dst outcome m) (dst outcome m') in
+            let witness p =
+              match delivery_seq tr ~p ~m with
+              | None -> false
+              | Some s -> (
+                  match delivery_seq tr ~p ~m:m' with
+                  | None -> true
+                  | Some s' -> s < s')
+            in
+            if Pset.exists witness common then edges := (m, m') :: !edges)
+        ids)
+    ids;
+  !edges
+
+let find_cycle edges =
+  let succs v =
+    List.filter_map (fun (a, b) -> if a = v then Some b else None) edges
+  in
+  let vertices =
+    List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
+  let state = Hashtbl.create 16 in
+  (* 0 = unvisited (absent), 1 = on stack, 2 = done *)
+  let exception Found of int list in
+  let rec dfs path v =
+    match Hashtbl.find_opt state v with
+    | Some 2 -> ()
+    | Some 1 ->
+        let rec cut acc = function
+          | [] -> acc
+          | x :: rest -> if x = v then x :: acc else cut (x :: acc) rest
+        in
+        raise (Found (cut [] path))
+    | _ ->
+        Hashtbl.replace state v 1;
+        List.iter (dfs (v :: path)) (succs v);
+        Hashtbl.replace state v 2
+  in
+  try
+    List.iter (dfs []) vertices;
+    None
+  with Found c -> Some c
+
+let ordering outcome =
+  match find_cycle (delivery_edges outcome) with
+  | None -> Ok ()
+  | Some c ->
+      fail "ordering: ↦ has the cycle %s"
+        (String.concat " ↦ " (List.map (Printf.sprintf "m%d") c))
+
+let strict_edges outcome =
+  let tr = outcome.Runner.trace in
+  let ids = message_ids outcome in
+  let rt = ref [] in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun m' ->
+          if m <> m' then
+            match (first_delivery_seq tr ~m, invoke_seq tr ~m:m') with
+            | Some d, Some i when d < i -> rt := (m, m') :: !rt
+            | _ -> ())
+        ids)
+    ids;
+  !rt
+
+let strict_ordering outcome =
+  match find_cycle (delivery_edges outcome @ strict_edges outcome) with
+  | None -> Ok ()
+  | Some c ->
+      fail "strict ordering: ↦ ∪ ↝ has the cycle %s"
+        (String.concat " → " (List.map (Printf.sprintf "m%d") c))
+
+let pairwise_ordering outcome =
+  let tr = outcome.Runner.trace in
+  let n = outcome.Runner.trace.Trace.n in
+  let ids = message_ids outcome in
+  let rec procs p acc =
+    if p >= n then acc
+    else
+      procs (p + 1)
+        (Result.bind acc (fun () ->
+             List.fold_left
+               (fun acc m ->
+                 Result.bind acc (fun () ->
+                     List.fold_left
+                       (fun acc m' ->
+                         Result.bind acc (fun () ->
+                             if m = m' then Ok ()
+                             else
+                               match
+                                 (delivery_seq tr ~p ~m, delivery_seq tr ~p ~m:m')
+                               with
+                               | Some s, Some s' when s < s' ->
+                                   (* every q ∈ dst(m) delivering m' must have
+                                      delivered m first *)
+                                   let rec check q =
+                                     if q >= n then Ok ()
+                                     else if not (Pset.mem q (dst outcome m))
+                                     then check (q + 1)
+                                     else
+                                       match delivery_seq tr ~p:q ~m:m' with
+                                       | None -> check (q + 1)
+                                       | Some sq' -> (
+                                           match delivery_seq tr ~p:q ~m with
+                                           | Some sq when sq < sq' -> check (q + 1)
+                                           | _ ->
+                                               fail
+                                                 "pairwise: p%d orders m%d before m%d but p%d does not"
+                                                 p m m' q)
+                                   in
+                                   check 0
+                               | _ -> Ok ()))
+                       acc ids))
+               acc ids))
+  in
+  procs 0 (Ok ())
+
+let minimality outcome =
+  let tr = outcome.Runner.trace in
+  let stats = outcome.Runner.stats in
+  let invoked = invoked tr in
+  let addressed p = List.exists (fun m -> Pset.mem p (dst outcome m)) invoked in
+  let n = Array.length stats.Engine.steps in
+  let rec loop p =
+    if p >= n then Ok ()
+    else if stats.Engine.steps.(p) > 0 && not (addressed p) then
+      fail "minimality: p%d took %d steps with no message addressed to it" p
+        stats.Engine.steps.(p)
+    else loop (p + 1)
+  in
+  loop 0
+
+let group_sequential outcome =
+  let tr = outcome.Runner.trace in
+  let sends =
+    List.filter_map
+      (function Trace.Send { m; p; seq; _ } -> Some (m, p, seq) | _ -> None)
+      tr.Trace.events
+  in
+  let precedes m (_m', p', seq') =
+    (* m ≺ m': the process performing A.multicast(m') delivered m first. *)
+    match delivery_seq tr ~p:p' ~m with Some s -> s < seq' | None -> false
+  in
+  let rec pairs = function
+    | [] -> Ok ()
+    | ((m, _, _) as sm) :: rest ->
+        let group_of x = (Workload.message outcome.Runner.workload x).Amsg.dst in
+        let bad =
+          List.find_opt
+            (fun ((m', _, _) as sm') ->
+              group_of m = group_of m'
+              && (not (precedes m sm'))
+              && not (precedes m' sm))
+            rest
+        in
+        (match bad with
+        | Some (m', _, _) ->
+            fail "group-sequential: m%d and m%d to g%d are not ≺-related" m m'
+              (group_of m)
+        | None -> pairs rest)
+  in
+  pairs sends
+
+let all outcome =
+  let base =
+    [
+      ("integrity", integrity outcome);
+      ("termination", termination outcome);
+      ("minimality", minimality outcome);
+      ("group-sequential", group_sequential outcome);
+    ]
+  in
+  match outcome.Runner.variant with
+  | Algorithm1.Vanilla -> base @ [ ("ordering", ordering outcome) ]
+  | Algorithm1.Strict ->
+      base
+      @ [ ("ordering", ordering outcome); ("strict-ordering", strict_ordering outcome) ]
+  | Algorithm1.Pairwise ->
+      base @ [ ("pairwise-ordering", pairwise_ordering outcome) ]
+
+let check_all outcome =
+  let failures =
+    List.filter_map
+      (function name, Error e -> Some (name ^ ": " ^ e) | _, Ok () -> None)
+      (all outcome)
+  in
+  if failures = [] then Ok () else Error (String.concat "; " failures)
+
+let group_parallelism outcome ~m =
+  let tr = outcome.Runner.trace in
+  let correct = Failure_pattern.correct outcome.Runner.fp in
+  let members = Pset.inter correct (dst outcome m) in
+  let relevant =
+    invoke_seq tr ~m <> None
+    || Pset.exists (fun p -> delivered_at tr ~p ~m) (dst outcome m)
+  in
+  if not relevant then Ok ()
+  else
+    Pset.fold
+      (fun p acc ->
+        Result.bind acc (fun () ->
+            if delivered_at tr ~p ~m then Ok ()
+            else
+              fail "group parallelism: p%d did not deliver m%d in a dst-fair run"
+                p m))
+      members (Ok ())

@@ -1,0 +1,28 @@
+(** The pre-indexing property checker, kept as a frozen reference.
+
+    Semantically identical to {!Properties} — same checks, same
+    first-witness selection, byte-identical failure strings — but every
+    trace and workload lookup is the original linear scan. The
+    verdict-identity test suite compares {!Properties} against this
+    module over the whole corpus and generated sweeps, and the
+    checker-scaling bench reports it as the "pre" trajectory. *)
+
+type verdict = (unit, string) result
+
+val integrity : Runner.outcome -> verdict
+val termination : Runner.outcome -> verdict
+val ordering : Runner.outcome -> verdict
+val strict_ordering : Runner.outcome -> verdict
+val pairwise_ordering : Runner.outcome -> verdict
+val minimality : Runner.outcome -> verdict
+val group_sequential : Runner.outcome -> verdict
+
+val delivery_edges : Runner.outcome -> (int * int) list
+(** The edges of [↦], in the same order as
+    {!Properties.delivery_edges}. *)
+
+val find_cycle : (int * int) list -> int list option
+
+val all : Runner.outcome -> (string * verdict) list
+val check_all : Runner.outcome -> verdict
+val group_parallelism : Runner.outcome -> m:int -> verdict

@@ -384,7 +384,7 @@ let step st ~pid:p ~time:t =
           live;
       executed
 
-let trace st = { Trace.events = List.rev st.events; n = Topology.n st.topo }
+let trace st = Trace.make ~n:(Topology.n st.topo) (List.rev st.events)
 let phase st ~pid ~m = st.phase.(pid).(m)
 
 let log_keys st =

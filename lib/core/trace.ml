@@ -22,7 +22,123 @@ type event =
   | Phase_change of { m : int; p : int; phase : phase; time : int; seq : int }
   | Deliver of { m : int; p : int; time : int; seq : int }
 
-type t = { events : event list; n : int }
+(* The index: every query below used to be a full scan of the event
+   cons-list; the checker probes them from inside O(M²·n) loops, so
+   the scans dominated verification time. All tables are derived in
+   one pass over [events] and keyed by flat [p * mb + m] ints. "First
+   matching event" semantics (find_map over the list) is preserved by
+   only recording the first occurrence; duplicate events (e.g. a
+   double delivery that integrity must flag) still appear in the list
+   tables ([deliveries], [delivery_order], [phases]). *)
+type index = {
+  np : int;  (* exclusive process bound: max n, 1 + max p seen *)
+  mb : int;  (* exclusive message bound: 1 + max m seen *)
+  deliveries : (int * int * int * int) list;
+  delivery_order : int list array;  (* per p, delivered m's in order *)
+  del_seq : int array;  (* np*mb: seq of the first delivery *)
+  del_present : Bytes.t;  (* np*mb: was (p, m) ever delivered *)
+  first_del_seq : int array;  (* mb: seq of the earliest delivery *)
+  first_del_present : Bytes.t;
+  inv_seq : int array;  (* mb: seq of the first Invoke *)
+  inv_present : Bytes.t;
+  snd_seq : int array;  (* mb: seq of the first Send *)
+  snd_present : Bytes.t;
+  invoked : int list;  (* invoked m's, in order *)
+  phases : phase list array;  (* np*mb: phase history, oldest first *)
+}
+
+type t = { events : event list; n : int; mutable index : index option }
+
+let make ~n events = { events; n; index = None }
+
+let pm = function
+  | Invoke { m; p; _ } -> (p, m)
+  | Send { m; p; _ } -> (p, m)
+  | Phase_change { m; p; _ } -> (p, m)
+  | Deliver { m; p; _ } -> (p, m)
+
+let build t =
+  let np, mb =
+    List.fold_left
+      (fun (np, mb) ev ->
+        let p, m = pm ev in
+        (max np (p + 1), max mb (m + 1)))
+      (t.n, 0) t.events
+  in
+  let cells = np * mb in
+  let del_seq = Array.make cells 0 in
+  let del_present = Bytes.make cells '\000' in
+  let first_del_seq = Array.make mb 0 in
+  let first_del_present = Bytes.make mb '\000' in
+  let inv_seq = Array.make mb 0 in
+  let inv_present = Bytes.make mb '\000' in
+  let snd_seq = Array.make mb 0 in
+  let snd_present = Bytes.make mb '\000' in
+  let delivery_order = Array.make np [] in
+  let phases = Array.make cells [] in
+  let deliveries = ref [] in
+  let invoked = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Invoke { m; seq; _ } ->
+          if Bytes.get inv_present m = '\000' then begin
+            inv_seq.(m) <- seq;
+            Bytes.set inv_present m '\001'
+          end;
+          invoked := m :: !invoked
+      | Send { m; seq; _ } ->
+          if Bytes.get snd_present m = '\000' then begin
+            snd_seq.(m) <- seq;
+            Bytes.set snd_present m '\001'
+          end
+      | Phase_change { m; p; phase; _ } ->
+          let k = (p * mb) + m in
+          phases.(k) <- phase :: phases.(k)
+      | Deliver { m; p; time; seq } ->
+          let k = (p * mb) + m in
+          if Bytes.get del_present k = '\000' then begin
+            del_seq.(k) <- seq;
+            Bytes.set del_present k '\001'
+          end;
+          if Bytes.get first_del_present m = '\000' then begin
+            first_del_seq.(m) <- seq;
+            Bytes.set first_del_present m '\001'
+          end;
+          deliveries := (p, m, time, seq) :: !deliveries;
+          delivery_order.(p) <- m :: delivery_order.(p);
+          phases.(k) <- Delivered :: phases.(k))
+    t.events;
+  Array.iteri (fun i l -> delivery_order.(i) <- List.rev l) delivery_order;
+  Array.iteri (fun i l -> phases.(i) <- List.rev l) phases;
+  {
+    np;
+    mb;
+    deliveries = List.rev !deliveries;
+    delivery_order;
+    del_seq;
+    del_present;
+    first_del_seq;
+    first_del_present;
+    inv_seq;
+    inv_present;
+    snd_seq;
+    snd_present;
+    invoked = List.rev !invoked;
+    phases;
+  }
+
+(* Building the index is idempotent and derived purely from the
+   immutable [events], so the memoizing write is benign: concurrent
+   builders compute equal indexes and the queries below read whichever
+   one is published. *)
+let index t =
+  match t.index with
+  | Some ix -> ix
+  | None ->
+      let ix = build t in
+      t.index <- Some ix;
+      ix
 
 let pp_event fmt = function
   | Invoke { m; p; time; _ } -> Format.fprintf fmt "t%d invoke(m%d)@p%d" time m p
@@ -31,46 +147,42 @@ let pp_event fmt = function
       Format.fprintf fmt "t%d m%d→%a@p%d" time m pp_phase phase p
   | Deliver { m; p; time; _ } -> Format.fprintf fmt "t%d deliver(m%d)@p%d" time m p
 
-let deliveries t =
-  List.filter_map
-    (function Deliver { m; p; time; seq } -> Some (p, m, time, seq) | _ -> None)
-    t.events
+let deliveries t = (index t).deliveries
 
 let delivery_order t p =
-  List.filter_map
-    (function Deliver d when d.p = p -> Some d.m | _ -> None)
-    t.events
+  let ix = index t in
+  if p < 0 || p >= ix.np then [] else ix.delivery_order.(p)
+
+let in_cell ix ~p ~m = p >= 0 && p < ix.np && m >= 0 && m < ix.mb
 
 let delivered_at t ~p ~m =
-  List.exists (function Deliver d -> d.p = p && d.m = m | _ -> false) t.events
+  let ix = index t in
+  in_cell ix ~p ~m && Bytes.get ix.del_present ((p * ix.mb) + m) <> '\000'
 
 let delivery_seq t ~p ~m =
-  List.find_map
-    (function Deliver d when d.p = p && d.m = m -> Some d.seq | _ -> None)
-    t.events
+  let ix = index t in
+  if not (in_cell ix ~p ~m) then None
+  else
+    let k = (p * ix.mb) + m in
+    if Bytes.get ix.del_present k = '\000' then None else Some ix.del_seq.(k)
 
 let first_delivery_seq t ~m =
-  List.find_map
-    (function Deliver d when d.m = m -> Some d.seq | _ -> None)
-    t.events
+  let ix = index t in
+  if m < 0 || m >= ix.mb || Bytes.get ix.first_del_present m = '\000' then None
+  else Some ix.first_del_seq.(m)
 
 let invoke_seq t ~m =
-  List.find_map
-    (function Invoke i when i.m = m -> Some i.seq | _ -> None)
-    t.events
+  let ix = index t in
+  if m < 0 || m >= ix.mb || Bytes.get ix.inv_present m = '\000' then None
+  else Some ix.inv_seq.(m)
 
 let send_seq t ~m =
-  List.find_map
-    (function Send s when s.m = m -> Some s.seq | _ -> None)
-    t.events
+  let ix = index t in
+  if m < 0 || m >= ix.mb || Bytes.get ix.snd_present m = '\000' then None
+  else Some ix.snd_seq.(m)
 
-let invoked t =
-  List.filter_map (function Invoke i -> Some i.m | _ -> None) t.events
+let invoked t = (index t).invoked
 
 let phase_history t ~p ~m =
-  List.filter_map
-    (function
-      | Phase_change c when c.p = p && c.m = m -> Some c.phase
-      | Deliver d when d.p = p && d.m = m -> Some Delivered
-      | _ -> None)
-    t.events
+  let ix = index t in
+  if not (in_cell ix ~p ~m) then [] else ix.phases.((p * ix.mb) + m)

@@ -20,10 +20,25 @@ type event =
   | Phase_change of { m : int; p : int; phase : phase; time : int; seq : int }
   | Deliver of { m : int; p : int; time : int; seq : int }
 
+type index
+(** Lazily-built lookup tables over the event list: per-[(p, m)]
+    delivery seq/presence keyed by flat [p*M + m] ints, per-process
+    delivery orders, per-message invoke/send/first-delivery seqs, the
+    invoked-message list and phase histories. Derived purely from
+    [events], so it never changes an answer — it only replaces the
+    per-query O(|events|) scans with O(1) lookups. *)
+
 type t = {
   events : event list;  (** in execution (sequence) order *)
   n : int;  (** number of processes *)
+  mutable index : index option;
+      (** memoized by the accessors; always [None] in a fresh trace *)
 }
+
+val make : n:int -> event list -> t
+(** A trace over [events] (execution order) with an unbuilt index.
+    Event process/message ids must be non-negative (they are array
+    indices in the lookup tables). *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -30,12 +30,24 @@ let run ~fp ~horizon ?(quiesce_after = 0) ?(seed = 1) ?scheduled
           a
   in
   let order_memo = ref (Pset.empty, []) in
-  let elements sched =
-    let cached_set, cached_list = !order_memo in
-    if Pset.equal sched cached_set then cached_list
+  (* Once every crash is in the past and no custom schedule narrows the
+     set, [sched] is the constant memoized alive set — skip even the
+     Pset.equal probe from then on (same trick as [alive_memo]). *)
+  let no_custom = Option.is_none scheduled in
+  let steady = ref false in
+  let elements ~t sched =
+    if !steady then snd !order_memo
     else begin
-      let l = Pset.to_list sched in
-      order_memo := (sched, l);
+      let cached_set, cached_list = !order_memo in
+      let l =
+        if Pset.equal sched cached_set then cached_list
+        else begin
+          let l = Pset.to_list sched in
+          order_memo := (sched, l);
+          l
+        end
+      in
+      if no_custom && t >= max_crash then steady := true;
       l
     end
   in
@@ -48,7 +60,7 @@ let run ~fp ~horizon ?(quiesce_after = 0) ?(seed = 1) ?scheduled
         | None -> alive t
         | Some f -> Pset.inter (f t) (alive t)
       in
-      let order = Rng.shuffle rng (elements sched) in
+      let order = Rng.shuffle rng (elements ~t sched) in
       let any = ref false in
       List.iter
         (fun p ->

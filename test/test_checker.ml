@@ -13,7 +13,7 @@ let outcome_of_events events =
     workload;
     fp = Failure_pattern.never ~n:4;
     variant = Algorithm1.Vanilla;
-    trace = { Trace.events; n = 4 };
+    trace = Trace.make ~n:4 events;
     stats = { Engine.steps = Array.make 4 0; executed = 0; ticks_used = 0; quiescent = true };
     snapshots = [];
     final_logs = [];
@@ -59,18 +59,15 @@ let detects_delivery_cycle () =
       workload;
       fp = Failure_pattern.never ~n:2;
       trace =
-        {
-          Trace.events =
-            [
-              ev_invoke 0 0 0;
-              ev_invoke 1 1 1;
-              ev_deliver 0 0 2;
-              ev_deliver 1 1 3;
-              ev_deliver 1 0 4;
-              ev_deliver 0 1 5;
-            ];
-          n = 2;
-        };
+        Trace.make ~n:2
+          [
+            ev_invoke 0 0 0;
+            ev_invoke 1 1 1;
+            ev_deliver 0 0 2;
+            ev_deliver 1 1 3;
+            ev_deliver 1 0 4;
+            ev_deliver 0 1 5;
+          ];
     }
   in
   Alcotest.(check bool) "cycle caught" true (Properties.ordering o <> Ok ());

@@ -38,18 +38,15 @@ let workload_generators () =
 
 let trace_accessors () =
   let tr =
-    {
-      Trace.events =
-        [
-          Trace.Invoke { m = 0; p = 1; time = 0; seq = 0 };
-          Trace.Send { m = 0; p = 1; time = 1; seq = 1 };
-          Trace.Phase_change { m = 0; p = 1; phase = Trace.Pending; time = 2; seq = 2 };
-          Trace.Deliver { m = 0; p = 1; time = 3; seq = 3 };
-          Trace.Deliver { m = 1; p = 1; time = 4; seq = 4 };
-          Trace.Deliver { m = 0; p = 2; time = 4; seq = 5 };
-        ];
-      n = 3;
-    }
+    Trace.make ~n:3
+      [
+        Trace.Invoke { m = 0; p = 1; time = 0; seq = 0 };
+        Trace.Send { m = 0; p = 1; time = 1; seq = 1 };
+        Trace.Phase_change { m = 0; p = 1; phase = Trace.Pending; time = 2; seq = 2 };
+        Trace.Deliver { m = 0; p = 1; time = 3; seq = 3 };
+        Trace.Deliver { m = 1; p = 1; time = 4; seq = 4 };
+        Trace.Deliver { m = 0; p = 2; time = 4; seq = 5 };
+      ]
   in
   Alcotest.(check (list int)) "delivery order at p1" [ 0; 1 ] (Trace.delivery_order tr 1);
   Alcotest.(check (list int)) "delivery order at p0" [] (Trace.delivery_order tr 0);

@@ -43,5 +43,7 @@ let () =
       ("cht", Test_cht.suite);
       ("fuzz", Test_fuzz.suite);
       ("trace identity", Test_trace_identity.suite);
+      ("trace index", Test_trace_index.suite);
+      ("checker identity", Test_checker_identity.suite);
       ("experiments", [ Alcotest.test_case "sections render" `Quick experiments_sanity ]);
     ]
