@@ -230,7 +230,8 @@ let rec run_scaling () =
               Out_channel.output_string oc
                 (Scaling.json_trajectory ~label ~quota_ms results)))
         (arg_string "--out"));
-  run_checker_scaling ~quota_ms ~smoke ~label ()
+  run_checker_scaling ~quota_ms ~smoke ~label ();
+  run_explore_scaling ~smoke ~label ()
 
 (* The checker counterpart (see checker_scaling.ml): same flags, its
    own output file via --checker-out. In JSON mode nothing is printed
@@ -256,6 +257,30 @@ and run_checker_scaling ~quota_ms ~smoke ~label () =
               Out_channel.output_string oc
                 (Checker_scaling.json_trajectory ~label ~quota_ms results)))
         (arg_string "--checker-out")
+
+(* The systematic-exploration counterpart (see explore_scaling.ml):
+   deterministic state counts, so no quota — each case is explored
+   exactly twice (POR on/off). Its own output file via --explore-out. *)
+and run_explore_scaling ~smoke ~label () =
+  let results = Explore_scaling.run_all ~jobs ~smoke in
+  match arg_string "--format" with
+  | Some "json" -> (
+      let json = Explore_scaling.json_trajectory ~label ~jobs results in
+      match arg_string "--explore-out" with
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc json);
+          Printf.printf "explore suite written to %s (%d cases)\n" path
+            (List.length results)
+      | None -> print_string json)
+  | _ ->
+      Explore_scaling.print_text results;
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc
+                (Explore_scaling.json_trajectory ~label ~jobs results)))
+        (arg_string "--explore-out")
 
 let () =
   let skip_bench = has_flag "--no-bench" in

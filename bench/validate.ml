@@ -10,7 +10,11 @@
    steps_per_sec/consensus_instances/complete; "checker-scaling" cases
    carry name/ref_ns_per_check/ns_per_check/speedup/events and a
    verdicts_equal flag that must be true (a recorded disagreement
-   between the indexed and reference checkers is a schema violation).
+   between the indexed and reference checkers is a schema violation);
+   "explore-scaling" cases carry name/depth/nodes/nodes_naive/
+   reduction_factor/states_per_sec/violations and a verdicts_equal flag
+   that must be true (the POR-ablated sweep must reach the same
+   verdict).
    Exits non-zero with a message naming the file and the offending path
    on any mismatch.
 
@@ -216,6 +220,25 @@ let check_checker_case path c =
   if not (as_bool (path ^ ".verdicts_equal") (field path c "verdicts_equal"))
   then schema_fail path "verdicts_equal must be true"
 
+let check_explore_case path c =
+  let name = as_string (path ^ ".name") (field path c "name") in
+  let path = Printf.sprintf "%s(%s)" path name in
+  let num k = as_num (path ^ "." ^ k) (field path c k) in
+  if num "depth" <= 0. then schema_fail path "depth must be > 0";
+  if num "nodes" <= 0. then schema_fail path "nodes must be > 0";
+  if num "nodes_naive" < num "nodes" then
+    schema_fail path "nodes_naive must be >= nodes (POR only prunes)";
+  if num "reduction_factor" < 1. then
+    schema_fail path "reduction_factor must be >= 1";
+  if num "states_per_sec" <= 0. then
+    schema_fail path "states_per_sec must be > 0";
+  if num "violations" < 0. then schema_fail path "violations must be >= 0";
+  (* Verdict identity across the POR ablation is part of the schema: a
+     trajectory recording different verdicts with and without reduction
+     is invalid, full stop. *)
+  if not (as_bool (path ^ ".verdicts_equal") (field path c "verdicts_equal"))
+  then schema_fail path "verdicts_equal must be true"
+
 let check_entry check_case i e =
   let path = Printf.sprintf "entries[%d]" i in
   let label = as_string (path ^ ".label") (field path e "label") in
@@ -233,6 +256,7 @@ let check_trajectory j =
     match suite with
     | "algorithm1-scaling" -> check_algorithm1_case
     | "checker-scaling" -> check_checker_case
+    | "explore-scaling" -> check_explore_case
     | _ -> schema_fail "suite" ("unknown suite " ^ suite)
   in
   let entries = as_arr "entries" (field "top" j "entries") in

@@ -1,12 +1,25 @@
 (* Command-line front end: inspect topologies, simulate multicast runs,
-   and regenerate the paper's tables and figures.
+   explore schedules systematically, and regenerate the paper's tables
+   and figures.
 
      amcast_cli analyze --topology figure1 --crash 1@5
      amcast_cli run --topology ring:3 --msgs 5 --seed 7 --variant strict
+     amcast_cli explore --topology chain:2 --msgs 2
+     amcast_cli explore --replay corpus/pairwise-c4-deadlock.scenario
      amcast_cli experiment table1
      amcast_cli experiment all *)
 
 open Cmdliner
+
+(* Exit codes (also in each subcommand's --help): 0 success, 3 a
+   specification violation was found, 123 other errors, 124 CLI usage
+   errors. *)
+let exit_violation = 3
+
+let violation_exits =
+  Cmd.Exit.info exit_violation
+    ~doc:"a specification violation was found and reported."
+  :: Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument parsing                                             *)
@@ -98,15 +111,7 @@ let variant_arg =
 (* analyze                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let analyze topo crashes dot =
-  if dot then begin
-    let crashed =
-      Failure_pattern.faulty
-        (Failure_pattern.of_crashes ~n:(Topology.n topo) crashes)
-    in
-    print_string (Topology.to_dot topo ~crashed ());
-    exit 0
-  end;
+let analyze_text topo crashes =
   Format.printf "%a@." Topology.pp topo;
   let families = Topology.cyclic_families topo in
   Format.printf "intersecting pairs:";
@@ -135,7 +140,18 @@ let analyze topo crashes dot =
           (String.concat ""
              (List.map (fun (g, h) -> Printf.sprintf " (g%d,g%d)" g h) edges))
   end;
-  Ok ()
+  Ok 0
+
+let analyze topo crashes dot =
+  if dot then begin
+    let crashed =
+      Failure_pattern.faulty
+        (Failure_pattern.of_crashes ~n:(Topology.n topo) crashes)
+    in
+    print_string (Topology.to_dot topo ~crashed ());
+    Ok 0
+  end
+  else analyze_text topo crashes
 
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit the intersection graph as GraphViz DOT.")
@@ -143,7 +159,7 @@ let dot_arg =
 let analyze_cmd =
   let doc = "Inspect a topology: intersections, cyclic families, faultiness." in
   Cmd.v
-    (Cmd.info "analyze" ~doc)
+    (Cmd.info "analyze" ~doc ~exits:Cmd.Exit.defaults)
     Term.(term_result (const analyze $ topology_arg $ crashes_arg $ dot_arg))
 
 (* ------------------------------------------------------------------ *)
@@ -164,17 +180,19 @@ let run topo crashes seed msgs variant =
     (fun (p, m, t, _) -> Format.printf "t=%-4d deliver m%d at p%d@." t m p)
     (Trace.deliveries o.Runner.trace);
   Format.printf "@.properties:@.";
+  let checks = Properties.all o in
   List.iter
     (fun (name, v) ->
       Format.printf "  %-18s %s@." name
         (match v with Ok () -> "ok" | Error e -> "VIOLATED: " ^ e))
-    (Properties.all o);
-  Ok ()
+    checks;
+  if List.exists (fun (_, v) -> Result.is_error v) checks then Ok exit_violation
+  else Ok 0
 
 let run_cmd =
   let doc = "Simulate an atomic multicast run and check the specification." in
   Cmd.v
-    (Cmd.info "run" ~doc)
+    (Cmd.info "run" ~doc ~exits:violation_exits)
     Term.(
       term_result
         (const run $ topology_arg $ crashes_arg $ seed_arg $ msgs_arg
@@ -253,11 +271,11 @@ let replay_file path =
       match Scenario.check s with
       | Ok () ->
           Format.printf "@.check: ok@.";
-          Ok ()
+          Ok 0
       | Error e ->
           Format.printf "@.check: VIOLATED: %s@." e;
-          if Corpus.expected_failing (Filename.basename path) then Ok ()
-          else Error (`Msg "unexpected violation"))
+          if Corpus.expected_failing (Filename.basename path) then Ok 0
+          else Ok exit_violation)
 
 let fuzz trials seed variant ablation minimize corpus save replay jobs =
   match replay with
@@ -294,8 +312,11 @@ let fuzz trials seed variant ablation minimize corpus save replay jobs =
          violation. *)
       let expect_violation = ablation <> Scenario.Full in
       let found = report.Fuzz_driver.violations <> [] in
-      if found = expect_violation then Ok ()
-      else if found then Error (`Msg "violation found with the full detector μ")
+      if found = expect_violation then Ok 0
+      else if found then begin
+        Format.printf "violation found with the full detector μ@.";
+        Ok exit_violation
+      end
       else Error (`Msg "ablated detector: no violation found; raise --trials"))
 
 let fuzz_cmd =
@@ -304,11 +325,185 @@ let fuzz_cmd =
      minimize counterexamples."
   in
   Cmd.v
-    (Cmd.info "fuzz" ~doc)
+    (Cmd.info "fuzz" ~doc ~exits:violation_exits)
     Term.(
       term_result
         (const fuzz $ trials_arg $ seed_arg $ variant_arg $ ablation_arg
        $ minimize_arg $ corpus_arg $ save_arg $ replay_arg $ jobs_arg))
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let depth_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "depth" ] ~docv:"N"
+        ~doc:
+          "Move-sequence bound (default: the quiescence-covering \
+           depth of the configuration).")
+
+let max_depth_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-depth" ] ~docv:"N"
+        ~doc:"Deepening bound for $(b,--min-witness) and $(b,--replay).")
+
+let min_witness_arg =
+  Arg.(
+    value & flag
+    & info [ "min-witness" ]
+        ~doc:
+          "Iterative deepening: report the first depth with a violation \
+           (minimal-length witnesses) instead of one exhaustive sweep.")
+
+let no_por_arg =
+  Arg.(
+    value & flag
+    & info [ "no-por" ]
+        ~doc:
+          "Ablate partial-order reduction (persistent and sleep sets). \
+           Verdicts are identical; only the state count grows.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Ablate the visited-state fingerprint cache.")
+
+let claims_arg =
+  Arg.(
+    value & flag
+    & info [ "claims" ]
+        ~doc:
+          "Also check the Table 2 claims at every terminal state \
+           (re-replays each terminal with per-tick snapshots; slower).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let explore_msgs_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "m"; "msgs" ] ~docv:"K"
+        ~doc:
+          "Workload size: message $(i,i) is multicast to group $(i,i) mod \
+           $(i,G) by its smallest member at t=0. Keep small (state spaces \
+           are exponential in $(docv)).")
+
+let max_delay_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "max-delay" ] ~docv:"D" ~doc:"Detection-latency bound for μ.")
+
+let explore_scenario topo msgs variant ablation crashes max_delay seed =
+  let gids = Topology.gids topo in
+  let num_g = List.length gids in
+  let msgs =
+    List.init msgs (fun i ->
+        let g = List.nth gids (i mod num_g) in
+        match Pset.min_elt (Topology.group topo g) with
+        | Some src -> (src, g, 0)
+        | None -> assert false)
+  in
+  Scenario.make ~crashes ~msgs ~variant ~ablation ~max_delay ~seed
+    ~n:(Topology.n topo)
+    (List.map (Topology.group topo) gids)
+
+let print_explore_report ~json r =
+  if json then print_string (Explore.report_to_json r)
+  else begin
+    Format.printf "%a@." Explore.pp_report r;
+    match r.Explore.violations with
+    | v :: _ ->
+        Format.printf "replayable witness scenario:@.@.%s@."
+          (Scenario.to_string
+             (Explore.witness_scenario r.Explore.scenario v.Explore.witness))
+    | [] -> ()
+  end
+
+let explore replay topo msgs variant ablation crashes max_delay seed depth
+    max_depth min_witness no_por no_cache claims json jobs =
+  let por = not no_por and cache = not no_cache in
+  let scenario =
+    match replay with
+    | None -> Ok (explore_scenario topo msgs variant ablation crashes max_delay seed)
+    | Some path -> (
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Scenario.of_string text with
+        | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e))
+        | Ok s -> Ok s)
+  in
+  match scenario with
+  | Error e -> Error e
+  | Ok sc -> (
+      match Scenario.validate sc with
+      | Error e -> Error (`Msg e)
+      | Ok () ->
+          if min_witness || replay <> None then begin
+            (* --replay: re-verify a corpus finding exhaustively at its
+               minimal depth — deepening is bounded by the witness
+               length, so a clean result really means "no violation as
+               short as the recorded witness". A length-d termination
+               witness is a terminal only confirmable with one move of
+               lookahead, hence the +1. *)
+            let max_depth =
+              match (max_depth, sc.Scenario.schedule) with
+              | Some d, _ -> Some d
+              | None, Scenario.Pinned moves -> Some (List.length moves + 1)
+              | None, _ -> None
+            in
+            match Explore.min_witness ~por ~cache ~jobs ?max_depth sc with
+            | Some r ->
+                print_explore_report ~json r;
+                Ok exit_violation
+            | None ->
+                let bound =
+                  match max_depth with
+                  | Some d -> d
+                  | None -> Explore.default_depth sc
+                in
+                Format.printf "clean: no violation up to depth %d@." bound;
+                if replay <> None then
+                  Error (`Msg "replay: recorded violation not reproduced")
+                else Ok 0
+          end
+          else begin
+            let r = Explore.run ~por ~cache ~claims ~jobs ?depth sc in
+            print_explore_report ~json r;
+            if r.Explore.violations <> [] then Ok exit_violation else Ok 0
+          end)
+
+let explore_cmd =
+  let doc =
+    "Systematically enumerate schedules of a small configuration and \
+     check every interleaving against the specification."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Bounded stateful model checking beside the random fuzzer: every \
+         schedule of the configuration is explored up to a depth bound, \
+         modulo partial-order reduction (persistent sets from the group \
+         intersection structure, sleep sets) and visited-state \
+         fingerprint caching. Reports are bit-identical for every \
+         $(b,--jobs) value.";
+      `P
+        "The configuration comes from $(b,--topology) and friends, or \
+         from a scenario file via $(b,--replay) (its schedule line is \
+         ignored; a pinned witness schedule bounds the deepening).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc ~man ~exits:violation_exits)
+    Term.(
+      term_result
+        (const explore $ replay_arg $ topology_arg $ explore_msgs_arg
+       $ variant_arg $ ablation_arg $ crashes_arg $ max_delay_arg $ seed_arg
+       $ depth_arg $ max_depth_arg $ min_witness_arg $ no_por_arg
+       $ no_cache_arg $ claims_arg $ json_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -317,13 +512,13 @@ let fuzz_cmd =
 let experiment name jobs =
   if name = "all" then begin
     print_string (Experiments.all ~jobs ());
-    Ok ()
+    Ok 0
   end
   else
     match List.assoc_opt name Experiments.sections with
     | Some f ->
         print_string (f ());
-        Ok ()
+        Ok 0
     | None ->
         Error
           (`Msg
@@ -343,7 +538,7 @@ let experiment_cmd =
 
 let main_cmd =
   let doc = "genuine atomic multicast and its weakest failure detector" in
-  let info = Cmd.info "amcast_cli" ~version:"1.0.0" ~doc in
-  Cmd.group info [ analyze_cmd; run_cmd; fuzz_cmd; experiment_cmd ]
+  let info = Cmd.info "amcast_cli" ~version:"1.0.0" ~doc ~exits:violation_exits in
+  Cmd.group info [ analyze_cmd; run_cmd; fuzz_cmd; explore_cmd; experiment_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () = exit (Cmd.eval' main_cmd)

@@ -410,6 +410,19 @@ let log_snapshot st (g, h) =
 
 let consensus_instances st = Consensus_table.instances st.cons
 
+let listed st ~m = st.listed.(m)
+let list_snapshot st g = !(st.lists.(g))
+
+let consensus_decisions st =
+  let cmp ((m, fam), v) ((m', fam'), v') =
+    let c = Int.compare m m' in
+    if c <> 0 then c
+    else
+      let c = List.compare Int.compare fam fam' in
+      if c <> 0 then c else Int.compare v v'
+  in
+  Consensus_table.decisions st.cons ~cmp
+
 let release st ~m ~time =
   if st.req_at.(m) > time then st.req_at.(m) <- time
 

@@ -78,6 +78,18 @@ val log_snapshot : t -> (Topology.gid * Topology.gid) -> (datum * int * bool) li
 val consensus_instances : t -> int
 (** Number of [CONS_{m,f}] instances actually decided. *)
 
+val listed : t -> m:int -> bool
+(** Whether the Prop. 1 [multicast] of message [m] has been invoked
+    (i.e. [m] entered the shared per-group list). *)
+
+val list_snapshot : t -> Topology.gid -> int list
+(** Contents of the shared list [L_g], newest first. *)
+
+val consensus_decisions : t -> ((int * Topology.gid list) * int) list
+(** Every decided [CONS_{m,f}] instance with its decided position, in a
+    canonical (message, family-key) order — part of the protocol state
+    the systematic explorer fingerprints. *)
+
 val pp_datum : Format.formatter -> datum -> unit
 
 val compare_datum : datum -> datum -> int

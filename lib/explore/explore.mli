@@ -1,0 +1,156 @@
+(** Bounded systematic schedule exploration for Algorithm 1 — a
+    DPOR-lite model checker beside the random fuzzer.
+
+    The explorer enumerates schedules of the deterministic simulation:
+    a schedule is a sequence of moves, one per engine tick, each either
+    [Step p] (tick [t] schedules exactly process [p]) or [Idle] (nobody
+    runs, the clock advances). Every node of the search tree is
+    reconstructed by replaying its move prefix from the initial state
+    through {!Engine.run_pinned}, so the frontier needs no state
+    snapshots and every reported witness is replayable by construction
+    (as a {!Scenario.Pinned} schedule).
+
+    Time handling: [Idle] moves are offered only while [t < t_steady]
+    ({!steady_time}) — the first tick from which every time-dependent
+    guard (workload release times, crashes, detector histories) is
+    constant. Past [t_steady], letting the clock tick changes nothing,
+    so idling is pruned and states are fingerprinted with the canonical
+    time [min t t_steady].
+
+    Partial-order reduction (on by default, [~por:false] ablates it):
+    - {e persistent sets}: in the steady regime the enabled processes
+      are restricted to one connected component of the
+      {!Topology.interacting} graph (the one with the fewest enabled
+      processes) — steps of processes in other components commute with
+      everything the component will ever do;
+    - {e sleep sets}: after exploring [Step p], a sibling [Step q]
+      independent of [p] is re-explored only on branches where it can
+      interleave differently (Godefroid's sleep sets, with [Idle]
+      treated as dependent on every move);
+    - {e visited-state caching} ([~cache:false] ablates it): a state is
+      pruned when it was already explored with a smaller-or-equal sleep
+      set and a greater-or-equal remaining depth (both guards are
+      needed: a cached visit with a larger sleep set or a shallower
+      budget explored fewer behaviours).
+
+    Checking: the safety properties of {!Properties.all} (everything
+    but termination) are evaluated at {e every} node — safety
+    violations are monotone (delivery edges only accumulate), so
+    checking representatives of each commutation class preserves
+    detection. Termination is evaluated at terminal nodes (no process
+    can act and [t >= t_steady] — a genuine deadlock or a completed
+    run); [~claims:true] additionally re-replays each terminal with
+    per-tick snapshots and checks Table 2 ({!Claims.all}).
+
+    Determinism: reports are bit-identical across [~jobs] values — the
+    root branches fan out over {!Domain_pool} with per-branch caches
+    and counters, merged in branch order. *)
+
+type move =
+  | Step of int  (** schedule exactly this process for one tick *)
+  | Idle  (** schedule nobody; only offered while [t < t_steady] *)
+
+val pp_move : Format.formatter -> move -> unit
+
+val moves_to_string : move list -> string
+(** Space-separated, [Idle] rendered ["-"] — the same token syntax as
+    the [schedule pinned] scenario line. *)
+
+val moves_to_schedule : move list -> Scenario.schedule
+(** The {!Scenario.Pinned} schedule replaying this move prefix. *)
+
+type violation = {
+  property : string;  (** property or claim name, e.g. ["termination"] *)
+  detail : string;  (** the checker's error message *)
+  witness : move list;  (** shortest violating move prefix found *)
+}
+
+type counters = {
+  nodes : int;  (** search-tree nodes visited (states explored) *)
+  terminals : int;  (** quiescent leaves (deadlocked or completed runs) *)
+  truncated : int;  (** leaves cut by the depth bound *)
+  cache_hits : int;  (** revisits pruned by the visited-state cache *)
+  sleep_skips : int;  (** enabled moves suppressed by sleep sets *)
+  por_skips : int;  (** enabled moves outside the persistent set *)
+  replayed_steps : int;  (** total protocol actions executed by replays *)
+  distinct_states : int;
+      (** fingerprints cached, summed per root branch; [0] with the
+          cache ablated *)
+  max_depth : int;  (** deepest node visited *)
+}
+
+type report = {
+  scenario : Scenario.t;  (** the explored configuration ([Free] schedule) *)
+  depth : int;  (** move-sequence bound used *)
+  t_steady : int;  (** {!steady_time} of the configuration *)
+  por : bool;
+  cache : bool;
+  claims : bool;
+  jobs : int;
+  counters : counters;
+  violations : violation list;
+      (** one per failing property, shortest witness first found at
+          that length, sorted by property name *)
+}
+
+val steady_time : Scenario.t -> int
+(** First tick from which every guard of the configuration is
+    time-invariant: the latest workload release time, or — when the
+    scenario crashes processes — the latest crash time plus the
+    detector latency bound, whichever is later. *)
+
+val default_depth : Scenario.t -> int
+(** A quiescence-covering bound: {!steady_time} plus a per-message
+    activity budget (list, send, and per destination member the
+    pending/commit/stabilize/stable/deliver actions across intersecting
+    logs). Runs of the configuration quiesce within it; deeper bounds
+    only add [truncated] leaves. *)
+
+val run :
+  ?por:bool ->
+  ?cache:bool ->
+  ?claims:bool ->
+  ?stop_on_first:bool ->
+  ?jobs:int ->
+  ?depth:int ->
+  Scenario.t ->
+  report
+(** Explore every schedule of the scenario's configuration up to
+    [depth] (default {!default_depth}) moves, modulo the reductions.
+    The scenario's own [schedule] field is ignored (exploration decides
+    the schedule); the rest — topology, workload, crashes, variant,
+    ablation, detector latency, seed — defines the configuration.
+    [~stop_on_first:true] makes each root branch stop expanding at its
+    own first recorded violation — counters then undercount, but the
+    report stays deterministic across [jobs] (the cutoff is per branch,
+    not global). Raises [Invalid_argument] on scenarios failing
+    {!Scenario.validate}. *)
+
+val min_witness :
+  ?por:bool ->
+  ?cache:bool ->
+  ?jobs:int ->
+  ?max_depth:int ->
+  Scenario.t ->
+  report option
+(** Iterative deepening [depth = 1, 2, ...] up to [max_depth] (default
+    {!default_depth}): the report of the first depth at which any
+    violation exists, i.e. minimal-length witnesses. Runs each sweep
+    with [~stop_on_first:true] — sound for minimality because at the
+    first violating depth [d] every witness has length exactly [d]
+    (shorter ones would have surfaced at an earlier sweep). [None] when
+    the configuration is clean up to the bound. *)
+
+val witness_scenario : Scenario.t -> move list -> Scenario.t
+(** The scenario re-running a witness: same configuration, schedule
+    pinned to the moves (free afterwards) — suitable for the corpus. *)
+
+val failing_properties : report -> string list
+(** Distinct failing property names, sorted — the POR-invariant verdict
+    (identical with reduction on and off). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> string
+(** Self-contained JSON rendering of the report (configuration summary,
+    counters, violations with witnesses). *)

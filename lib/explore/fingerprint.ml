@@ -1,0 +1,59 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+
+let to_hex (d : t) = Digest.to_hex d
+
+let datum_tag b d =
+  match d with
+  | Algorithm1.Msg m -> Printf.ksprintf (Buffer.add_string b) "m%d" m
+  | Algorithm1.Pend (m, h, i) ->
+      Printf.ksprintf (Buffer.add_string b) "p%d.%d.%d" m h i
+  | Algorithm1.Stab (m, h) ->
+      Printf.ksprintf (Buffer.add_string b) "s%d.%d" m h
+
+let render ~time ~topo ~msgs st =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "t%d" time;
+  (* Shared logs: (datum, position, locked) in log order. [log_keys]
+     returns normalised (g, h) pairs in a fixed order. *)
+  List.iter
+    (fun ((g, h) as key) ->
+      add "|L%d.%d:" g h;
+      List.iter
+        (fun (d, pos, locked) ->
+          datum_tag b d;
+          add "@%d%c;" pos (if locked then '!' else '.'))
+        (Algorithm1.log_snapshot st key))
+    (Algorithm1.log_keys st);
+  (* Prop. 1 shared per-group lists and the listed (= invoked) flags. *)
+  List.iter
+    (fun g ->
+      add "|S%d:%s" g
+        (String.concat ","
+           (List.map string_of_int (Algorithm1.list_snapshot st g))))
+    (Topology.gids topo);
+  for m = 0 to msgs - 1 do
+    add "|i%d%c" m (if Algorithm1.listed st ~m then 'y' else 'n')
+  done;
+  (* Consensus decisions, in the canonical (message, family-key) order. *)
+  List.iter
+    (fun ((m, fam), v) ->
+      add "|C%d.%s=%d" m (String.concat "." (List.map string_of_int fam)) v)
+    (Algorithm1.consensus_decisions st);
+  (* Per-process protocol phases and delivery orders. *)
+  let tr = Algorithm1.trace st in
+  for p = 0 to tr.Trace.n - 1 do
+    add "|f%d:" p;
+    for m = 0 to msgs - 1 do
+      add "%d" (Trace.phase_rank (Algorithm1.phase st ~pid:p ~m))
+    done;
+    add "|D%d:%s" p
+      (String.concat "," (List.map string_of_int (Trace.delivery_order tr p)))
+  done;
+  Buffer.contents b
+
+let of_state ~time ~topo ~msgs st : t =
+  Digest.string (render ~time ~topo ~msgs st)

@@ -1,6 +1,9 @@
 type ablation = Full | Lying_gamma | Always_gamma
 
-type schedule = Free | Starve of { p : int; from_ : int; len : int }
+type schedule =
+  | Free
+  | Starve of { p : int; from_ : int; len : int }
+  | Pinned of int option list
 
 type t = {
   n : int;
@@ -71,6 +74,14 @@ let validate s =
         if p < 0 || p >= s.n then err "starved process outside the universe"
         else if from_ < 0 || len < 1 then err "bad starvation window"
         else Ok ()
+    | Pinned moves ->
+        if moves = [] then err "empty pinned schedule"
+        else if
+          List.exists
+            (function Some p -> p < 0 || p >= s.n | None -> false)
+            moves
+        then err "pinned process outside the universe"
+        else Ok ()
 
 let topology s = Topology.create ~n:s.n s.groups
 let failure_pattern s = Failure_pattern.of_crashes ~n:s.n s.crashes
@@ -122,7 +133,13 @@ let to_string s =
   line "ablation %s" (ablation_name s.ablation);
   (match s.schedule with
   | Free -> line "schedule free"
-  | Starve { p; from_; len } -> line "schedule starve %d %d %d" p from_ len);
+  | Starve { p; from_; len } -> line "schedule starve %d %d %d" p from_ len
+  | Pinned moves ->
+      line "schedule pinned %s"
+        (String.concat " "
+           (List.map
+              (function Some p -> string_of_int p | None -> "-")
+              moves)));
   line "n %d" s.n;
   List.iter
     (fun g ->
@@ -176,6 +193,21 @@ let of_string text =
             match ints [ p; f; l ] with
             | Some [ p; from_; len ] -> Ok (schedule := Starve { p; from_; len })
             | _ -> err "bad starvation window")
+        | "schedule" :: "pinned" :: moves -> (
+            let parse_move = function
+              | "-" -> Some None
+              | w -> Option.map Option.some (int_of_string_opt w)
+            in
+            match
+              List.fold_left
+                (fun acc w ->
+                  match (acc, parse_move w) with
+                  | Some acc, Some mv -> Some (mv :: acc)
+                  | _ -> None)
+                (Some []) moves
+            with
+            | Some ms when ms <> [] -> Ok (schedule := Pinned (List.rev ms))
+            | _ -> err "bad pinned schedule %S" l)
         | [ "n"; v ] -> (
             match int_of_string_opt v with
             | Some v -> Ok (n := Some v)
@@ -241,6 +273,18 @@ let run ?(record_snapshots = false) ?enablement_cache s =
           (fun t ->
             if t >= from_ && t < from_ + len then
               Pset.remove p (Pset.range s.n)
+            else Pset.range s.n)
+    | Pinned moves ->
+        (* Witness prefix from the systematic explorer: one pinned
+           process (or nobody, "-") per tick, free scheduling after the
+           prefix runs out so the run can still quiesce. *)
+        let arr = Array.of_list moves in
+        Some
+          (fun t ->
+            if t < Array.length arr then
+              match arr.(t) with
+              | Some p -> Pset.singleton p
+              | None -> Pset.empty
             else Pset.range s.n)
   in
   Runner.run ~variant:s.variant ~seed:s.seed ?scheduled ?enablement_cache

@@ -21,6 +21,10 @@ type schedule =
   | Free  (** every alive process is scheduled at every tick *)
   | Starve of { p : int; from_ : int; len : int }
       (** process [p] is not scheduled during [[from_, from_ + len)] *)
+  | Pinned of int option list
+      (** witness prefix from the systematic explorer: tick [t] schedules
+          exactly the pinned process ([None] = idle tick, rendered "-" by
+          the codec); after the prefix, scheduling is free *)
 
 type t = {
   n : int;  (** size of the process universe *)

@@ -44,6 +44,9 @@ let trim_universe s =
     let schedule =
       match s.schedule with
       | Starve { p; _ } when p >= n' -> Free
+      | Pinned moves
+        when List.exists (function Some p -> p >= n' | None -> false) moves ->
+          Free
       | sch -> sch
     in
     [ rebuild s ~n:n' ~crashes ~schedule () ]
@@ -60,6 +63,16 @@ let relax_schedule s =
       if from_ > 0 then
         [ rebuild s ~schedule:(Starve { p; from_ = from_ / 2; len }) () ]
       else []
+  | Pinned moves ->
+      let k = List.length moves in
+      rebuild s ~schedule:Free ()
+      :: (if k > 1 then
+            [
+              rebuild s
+                ~schedule:(Pinned (List.filteri (fun i _ -> i < k / 2) moves))
+                ();
+            ]
+          else [])
 
 let shrink_memberships s =
   List.concat

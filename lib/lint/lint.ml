@@ -47,7 +47,10 @@ let rule_names = List.map fst rules
    executes. The rest of lib/ gets warnings for the representation
    rules but stays error-strict on IO, clocks and interfaces. *)
 let strict_libs =
-  [ "sim"; "core"; "fuzz"; "net"; "objects"; "substrate"; "util"; "lint" ]
+  [
+    "sim"; "core"; "fuzz"; "net"; "objects"; "substrate"; "util"; "lint";
+    "explore";
+  ]
 
 let segments file =
   String.split_on_char '/' file

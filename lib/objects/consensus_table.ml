@@ -11,3 +11,6 @@ let propose t key v =
 
 let decided t key = Hashtbl.find_opt t key
 let instances t = Hashtbl.length t
+
+let decisions t ~cmp =
+  List.sort cmp (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])

@@ -16,3 +16,10 @@ val propose : ('k, 'v) t -> 'k -> 'v -> 'v
 
 val decided : ('k, 'v) t -> 'k -> 'v option
 val instances : ('k, 'v) t -> int
+
+val decisions :
+  ('k, 'v) t -> cmp:('k * 'v -> 'k * 'v -> int) -> ('k * 'v) list
+(** Every decided instance with its value, sorted by [cmp] — the
+    caller supplies a typed total order so the result is independent of
+    hash-table iteration order (state fingerprinting needs a canonical
+    rendering). *)

@@ -52,7 +52,8 @@ let run ~fp ~horizon ?(quiesce_after = 0) ?(seed = 1) ?scheduled
     end
   in
   let rec tick t =
-    if t > horizon then { steps; executed = !executed; ticks_used = t; quiescent = false }
+    if t > horizon then
+      { steps; executed = !executed; ticks_used = t; quiescent = false }
     else begin
       on_tick t;
       let sched =
@@ -84,3 +85,30 @@ let run ~fp ~horizon ?(quiesce_after = 0) ?(seed = 1) ?scheduled
     end
   in
   tick 0
+
+(* A pinned run executes one prescribed move per tick: tick [t] offers
+   the step only to [moves.(t)] ([None] lets the tick pass with nobody
+   scheduled). Built on [run]'s [~scheduled] hook, so crash filtering
+   and the per-tick draw discipline are exactly those of a free run;
+   the shuffle of a singleton (or empty) scheduled set is
+   order-trivial, making pinned runs independent of [seed]. The
+   explorer (lib/explore) replays its DFS frontier through this
+   entry point instead of snapshotting simulator state. *)
+let run_pinned ~fp ?(seed = 1) ?enabled ?(on_tick = fun (_ : int) -> ())
+    ~(moves : int option array) ~step () =
+  let d = Array.length moves in
+  let fired = Array.make (max d 1) false in
+  let scheduled t =
+    if t >= d then Pset.empty
+    else match moves.(t) with Some p -> Pset.singleton p | None -> Pset.empty
+  in
+  let step ~pid ~time =
+    let r = step ~pid ~time in
+    if r && time < d then fired.(time) <- true;
+    r
+  in
+  let stats =
+    run ~fp ~horizon:(d - 1) ~quiesce_after:d ~seed ~scheduled ?enabled
+      ~on_tick ~step ()
+  in
+  (stats, Array.sub fired 0 d)

@@ -42,3 +42,23 @@ val run :
     execute, so a skipped call would have returned [false] anyway. The
     per-tick RNG shuffle still covers the full scheduled set, so the
     draw sequence — and hence the run — is unchanged by the hint. *)
+
+val run_pinned :
+  fp:Failure_pattern.t ->
+  ?seed:int ->
+  ?enabled:(pid:int -> time:int -> bool) ->
+  ?on_tick:(int -> unit) ->
+  moves:int option array ->
+  step:(pid:int -> time:int -> bool) ->
+  unit ->
+  stats * bool array
+(** One prescribed move per tick: tick [t] schedules exactly
+    [moves.(t)] (or nobody, for [None]), and the run stops after the
+    last move — quiescence detection is disabled, so a pinned prefix
+    always executes in full. Returns the engine stats together with a
+    per-move flag telling whether that tick's process actually executed
+    an action (crashed or disabled processes let the tick pass). Pinned
+    runs are deterministic and independent of [seed]: a scheduled set
+    of at most one element leaves nothing for the per-tick shuffle to
+    permute. This is the replay primitive of the systematic explorer
+    (lib/explore). *)

@@ -46,6 +46,42 @@ let intersecting t g h = not (Pset.is_empty t.inters.(g).(h))
 let groups_of t p =
   List.filter (fun g -> Pset.mem p t.groups.(g)) (gids t)
 
+(* Two processes interact when they share a destination group: every
+   shared object of Algorithm 1 (a log LOG_{g∩h}, a list L_g, a
+   consensus instance for a g-bound message) is keyed by groups of the
+   process touching it, so steps of non-interacting processes operate
+   on disjoint objects and commute — the independence relation of the
+   systematic explorer (lib/explore). *)
+let interacting t p q =
+  List.exists (fun g -> Pset.mem q t.groups.(g)) (groups_of t p)
+
+(* Connected components of the interaction relation, computed over the
+   groups (all members of one group interact pairwise; intersecting
+   groups share a member, so merging along group membership reaches the
+   transitive closure). Canonical labelling: a component is named by
+   its smallest process. *)
+let process_components t =
+  let parent = Array.init t.n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+  in
+  Array.iter
+    (fun g ->
+      match Pset.min_elt g with
+      | None -> ()
+      | Some m -> Pset.iter (fun p -> union m p) g)
+    t.groups;
+  Array.init t.n find
+
 let intersecting_pairs t =
   let k = num_groups t in
   let acc = ref [] in

@@ -42,6 +42,20 @@ val inter : t -> gid -> gid -> Pset.t
 val intersecting_pairs : t -> (gid * gid) list
 (** All pairs [(g, h)] with [g < h] and [g ∩ h ≠ ∅]. *)
 
+val interacting : t -> int -> int -> bool
+(** [interacting topo p q]: whether [p] and [q] share a destination
+    group. Every shared object of Algorithm 1 is keyed by groups of the
+    process touching it, so steps of non-interacting processes commute
+    — the independence relation driving partial-order reduction in the
+    systematic explorer (see DESIGN.md). Reflexive for any process
+    belonging to at least one group. *)
+
+val process_components : t -> int array
+(** Connected components of the {!interacting} relation, one label per
+    process; the label is the component's smallest process id, so the
+    numbering is canonical. Processes in different components can never
+    influence each other in any run. *)
+
 (** {1 Families and cycles} *)
 
 type family = gid list

@@ -61,7 +61,19 @@ let strict_regression () =
     Lint.lint_string ~file:"lib/cht/floodset.ml" "let f l = List.sort compare l"
   in
   Alcotest.(check bool) "warning in relaxed scope" false (Lint.has_errors diags);
-  Alcotest.(check int) "still reported" 1 (List.length diags)
+  Alcotest.(check int) "still reported" 1 (List.length diags);
+  (* lib/explore is graded strict: the model checker's determinism and
+     canonical orderings feed the visited-state cache, so a replay
+     divergence there silently unsounds the exploration. *)
+  let diags =
+    Lint.lint_string ~file:"lib/explore/explore.ml"
+      "let f l = List.sort compare l"
+  in
+  Alcotest.check triple "explore is strict"
+    [ ("lib/explore/explore.ml", 1, "poly-compare") ]
+    (summarize diags);
+  Alcotest.(check bool) "explore regression is an error" true
+    (Lint.has_errors diags)
 
 let scope_map () =
   (* wall-clock and io do not apply to executables/benches... *)
