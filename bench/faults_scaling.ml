@@ -1,0 +1,97 @@
+(* The claims-under-loss trajectory.
+
+   Runs one fixed configuration (figure 1, four messages, no crash)
+   across a drop-rate grid under stubborn links and records, per rate:
+   announcement transmissions, deliveries, the retransmission count and
+   the resulting overhead, plus whether the specification verdicts are
+   identical to the fault-free baseline — the claim the stubborn layer
+   makes, pinned as part of the schema (verdicts_equal must be true).
+
+   Unlike the other suites this one is wall-clock-free: every figure is
+   a deterministic function of the scenario, so trajectories are
+   exactly comparable across PRs. *)
+
+type result = {
+  name : string;
+  drop : int;  (* basis points of Channel_fault.den *)
+  sent : int;  (* logical announcement transmissions *)
+  delivered : int;
+  retransmissions : int;
+  lost : int;
+  overhead : float;  (* retransmissions per transmission *)
+  verdicts_equal : bool;  (* same failing-property set as drop 0 *)
+}
+
+let topo = Topology.figure1
+
+let workload () = Workload.random (Rng.make 11) ~msgs:4 ~max_at:6 topo
+
+let outcome faults =
+  let n = Topology.n topo in
+  Runner.run ~seed:11 ~faults ~topo ~fp:(Failure_pattern.never ~n)
+    ~workload:(workload ()) ()
+
+let failing o =
+  List.filter_map
+    (fun (name, v) -> if Result.is_error v then Some name else None)
+    (Properties.all o)
+
+let drops ~smoke = if smoke then [ 0; 2_500 ] else [ 0; 500; 1_000; 2_500; 5_000 ]
+
+let run_all ~smoke =
+  let baseline = failing (outcome Channel_fault.none) in
+  List.map
+    (fun drop ->
+      (* delay 2 even at drop 0, so every grid point exercises the
+         drawn-visibility path and reports a non-zero [sent]. *)
+      let spec = { Channel_fault.drop; dup = 0; delay = 2; stubborn = true } in
+      let o = outcome spec in
+      let ls = o.Runner.links in
+      let sent = ls.Channel_fault.sent in
+      {
+        name = Printf.sprintf "figure1-drop%d" drop;
+        drop;
+        sent;
+        delivered = List.length (Trace.deliveries o.Runner.trace);
+        retransmissions = ls.Channel_fault.retransmissions;
+        lost = ls.Channel_fault.lost;
+        overhead =
+          (if sent > 0 then
+             float_of_int ls.Channel_fault.retransmissions /. float_of_int sent
+           else 0.);
+        verdicts_equal = failing o = baseline;
+      })
+    (drops ~smoke)
+
+let print_text results =
+  print_endline "== Claims-under-loss suite (stubborn links) ==";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-20s sent %3d  delivered %3d  retransmissions %3d (%.2fx)  lost \
+         %d%s\n"
+        r.name r.sent r.delivered r.retransmissions r.overhead r.lost
+        (if r.verdicts_equal then "" else "  VERDICTS DIFFER"))
+    results
+
+let json_trajectory ~label results =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"schema\": \"amcast-bench-trajectory/v1\",\n";
+  Buffer.add_string b "  \"suite\": \"faults-scaling\",\n";
+  Buffer.add_string b "  \"entries\": [ {\n";
+  Printf.bprintf b "    \"label\": \"%s\",\n" (Scaling.json_escape label);
+  Buffer.add_string b "    \"cases\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b
+        "    { \"name\": \"%s\", \"drop\": %d, \"sent\": %d, \"delivered\": \
+         %d,\n\
+        \      \"retransmissions\": %d, \"lost\": %d, \"overhead\": %.4f,\n\
+        \      \"verdicts_equal\": %b }"
+        (Scaling.json_escape r.name)
+        r.drop r.sent r.delivered r.retransmissions r.lost r.overhead
+        r.verdicts_equal)
+    results;
+  Buffer.add_string b "\n    ]\n  } ]\n}\n";
+  Buffer.contents b

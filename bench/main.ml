@@ -129,7 +129,7 @@ let bench_fastlog =
   Test.make ~name:"substrate/fast log, 4 uncontended appends (B3)"
     (Staged.stage (fun () ->
          let rl =
-           Replog.create ~scope ~group
+           Replog.create ?faults:None ?seed:None ~scope ~group
              ~sigma_inter:(Sigma.query sigma_i)
              ~sigma_group:(Sigma.query sigma_g)
              ~omega_group:(Omega.query omega_g)
@@ -231,7 +231,8 @@ let rec run_scaling () =
                 (Scaling.json_trajectory ~label ~quota_ms results)))
         (arg_string "--out"));
   run_checker_scaling ~quota_ms ~smoke ~label ();
-  run_explore_scaling ~smoke ~label ()
+  run_explore_scaling ~smoke ~label ();
+  run_faults_scaling ~smoke ~label ()
 
 (* The checker counterpart (see checker_scaling.ml): same flags, its
    own output file via --checker-out. In JSON mode nothing is printed
@@ -281,6 +282,29 @@ and run_explore_scaling ~smoke ~label () =
               Out_channel.output_string oc
                 (Explore_scaling.json_trajectory ~label ~jobs results)))
         (arg_string "--explore-out")
+
+(* The claims-under-loss counterpart (see faults_scaling.ml):
+   wall-clock-free, so no quota. Its own output file via --faults-out. *)
+and run_faults_scaling ~smoke ~label () =
+  let results = Faults_scaling.run_all ~smoke in
+  match arg_string "--format" with
+  | Some "json" -> (
+      let json = Faults_scaling.json_trajectory ~label results in
+      match arg_string "--faults-out" with
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc json);
+          Printf.printf "faults suite written to %s (%d cases)\n" path
+            (List.length results)
+      | None -> print_string json)
+  | _ ->
+      Faults_scaling.print_text results;
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc
+                (Faults_scaling.json_trajectory ~label results)))
+        (arg_string "--faults-out")
 
 let () =
   let skip_bench = has_flag "--no-bench" in

@@ -14,7 +14,10 @@
    "explore-scaling" cases carry name/depth/nodes/nodes_naive/
    reduction_factor/states_per_sec/violations and a verdicts_equal flag
    that must be true (the POR-ablated sweep must reach the same
-   verdict).
+   verdict); "faults-scaling" cases carry name/drop/sent/delivered/
+   retransmissions/lost/overhead and a verdicts_equal flag that must be
+   true (stubborn links must not change any specification verdict
+   relative to the fault-free baseline).
    Exits non-zero with a message naming the file and the offending path
    on any mismatch.
 
@@ -239,6 +242,23 @@ let check_explore_case path c =
   if not (as_bool (path ^ ".verdicts_equal") (field path c "verdicts_equal"))
   then schema_fail path "verdicts_equal must be true"
 
+let check_faults_case path c =
+  let name = as_string (path ^ ".name") (field path c "name") in
+  let path = Printf.sprintf "%s(%s)" path name in
+  let num k = as_num (path ^ "." ^ k) (field path c k) in
+  if num "drop" < 0. then schema_fail path "drop must be >= 0";
+  if num "sent" <= 0. then schema_fail path "sent must be > 0";
+  if num "delivered" < 0. then schema_fail path "delivered must be >= 0";
+  if num "retransmissions" < 0. then
+    schema_fail path "retransmissions must be >= 0";
+  if num "lost" < 0. then schema_fail path "lost must be >= 0";
+  if num "overhead" < 0. then schema_fail path "overhead must be >= 0";
+  (* Verdict identity with the fault-free baseline is part of the
+     schema: a trajectory recording that stubborn links changed a
+     specification verdict is invalid, full stop. *)
+  if not (as_bool (path ^ ".verdicts_equal") (field path c "verdicts_equal"))
+  then schema_fail path "verdicts_equal must be true"
+
 let check_entry check_case i e =
   let path = Printf.sprintf "entries[%d]" i in
   let label = as_string (path ^ ".label") (field path e "label") in
@@ -257,6 +277,7 @@ let check_trajectory j =
     | "algorithm1-scaling" -> check_algorithm1_case
     | "checker-scaling" -> check_checker_case
     | "explore-scaling" -> check_explore_case
+    | "faults-scaling" -> check_faults_case
     | _ -> schema_fail "suite" ("unknown suite " ^ suite)
   in
   let entries = as_arr "entries" (field "top" j "entries") in

@@ -26,19 +26,27 @@ let violation_exits =
 (* ------------------------------------------------------------------ *)
 
 let topology_of_string s =
+  (* Size arguments go through [int_of_string_opt], so a malformed
+     "ring:x" is a clean cmdliner usage error (exit 124), never an
+     uncaught [Failure "int_of_string"] backtrace. *)
+  let num what k cont =
+    match int_of_string_opt k with
+    | Some v when v >= 1 -> cont v
+    | _ ->
+        Error
+          (`Msg (Printf.sprintf "topology %s: %S is not a positive size" what k))
+  in
   match String.split_on_char ':' s with
   | [ "figure1" ] -> Ok Topology.figure1
-  | [ "ring"; k ] -> Ok (Topology.ring ~groups:(int_of_string k))
-  | [ "chain"; k ] -> Ok (Topology.chain ~groups:(int_of_string k))
-  | [ "disjoint"; k ] -> Ok (Topology.disjoint ~groups:(int_of_string k) ~size:3)
+  | [ "ring"; k ] -> num "ring:K" k (fun k -> Ok (Topology.ring ~groups:k))
+  | [ "chain"; k ] -> num "chain:K" k (fun k -> Ok (Topology.chain ~groups:k))
+  | [ "disjoint"; k ] ->
+      num "disjoint:K" k (fun k -> Ok (Topology.disjoint ~groups:k ~size:3))
   | [ "star"; k ] ->
-      let k = int_of_string k in
-      Ok (Topology.star ~satellites:k ~hub_size:k)
+      num "star:K" k (fun k -> Ok (Topology.star ~satellites:k ~hub_size:k))
   | [ "random"; seed ] ->
-      Ok
-        (Topology.random
-           (Rng.make (int_of_string seed))
-           ~n:8 ~groups:4 ~max_group_size:4)
+      num "random:SEED" seed (fun seed ->
+          Ok (Topology.random (Rng.make seed) ~n:8 ~groups:4 ~max_group_size:4))
   | _ ->
       Error
         (`Msg
@@ -79,19 +87,34 @@ let crashes_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Schedule seed.")
 
+(* Numeric flags with a hard floor: [--jobs 0] would deadlock the
+   domain pool and negative counts/depths silently explore nothing, so
+   all of them fail at parse time with a usage error (exit 124). *)
+let int_at_least floor what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= floor -> Ok v
+    | Some v ->
+        Error
+          (`Msg (Printf.sprintf "%s must be at least %d (got %d)" what floor v))
+    | None -> Error (`Msg (Printf.sprintf "%s expects an integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt int (Domain_pool.default_jobs ())
+    & opt (int_at_least 1 "--jobs") (Domain_pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for trial/section evaluation (default: the \
-           recommended domain count). Output is identical for every \
-           $(docv), including 1.")
+           recommended domain count; at least 1). Output is identical for \
+           every $(docv), including 1.")
 
 let msgs_arg =
   Arg.(
-    value & opt int 5
+    value
+    & opt (int_at_least 0 "--msgs") 5
     & info [ "m"; "msgs" ] ~docv:"N" ~doc:"Number of random messages.")
 
 let variant_arg =
@@ -222,8 +245,36 @@ let ablation_arg =
 
 let trials_arg =
   Arg.(
-    value & opt int 200
+    value
+    & opt (int_at_least 1 "--trials") 200
     & info [ "trials" ] ~docv:"N" ~doc:"Number of scenarios to explore.")
+
+let faults_arg =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "random" -> Ok `Random
+    | _ -> (
+        match Channel_fault.of_string s with
+        | Ok spec when Channel_fault.is_none spec -> Ok `Off
+        | Ok spec -> Ok (`Spec spec)
+        | Error e -> Error (`Msg e))
+  in
+  let print fmt = function
+    | `Off -> Format.pp_print_string fmt "none"
+    | `Random -> Format.pp_print_string fmt "random"
+    | `Spec spec -> Format.pp_print_string fmt (Channel_fault.to_string spec)
+  in
+  Arg.(
+    value
+    & opt (Arg.conv (parse, print)) `Off
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Channel faults for generated scenarios: $(b,none) (default), \
+           $(b,random) (drawn per scenario), or a spec like \
+           $(b,drop=3000,delay=2,stubborn) (basis points of loss / \
+           duplication, max extra delay, stubborn retransmission). \
+           Lossy specs without $(b,stubborn) waive the termination \
+           check.")
 
 let minimize_arg =
   Arg.(
@@ -277,7 +328,7 @@ let replay_file path =
           if Corpus.expected_failing (Filename.basename path) then Ok 0
           else Ok exit_violation)
 
-let fuzz trials seed variant ablation minimize corpus save replay jobs =
+let fuzz trials seed variant ablation faults minimize corpus save replay jobs =
   match replay with
   | Some path -> replay_file path
   | None -> (
@@ -285,6 +336,7 @@ let fuzz trials seed variant ablation minimize corpus save replay jobs =
         Scenario_gen.for_ablation ablation
           { Scenario_gen.default with variants = [ variant ] }
       in
+      let cfg = { cfg with Scenario_gen.faults_gen = faults } in
       let report =
         Fuzz_driver.fuzz ~minimize ~stop_at_first:true ~jobs ~trials ~seed cfg
       in
@@ -329,7 +381,8 @@ let fuzz_cmd =
     Term.(
       term_result
         (const fuzz $ trials_arg $ seed_arg $ variant_arg $ ablation_arg
-       $ minimize_arg $ corpus_arg $ save_arg $ replay_arg $ jobs_arg))
+       $ faults_arg $ minimize_arg $ corpus_arg $ save_arg $ replay_arg
+       $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explore                                                             *)
@@ -337,7 +390,8 @@ let fuzz_cmd =
 
 let depth_arg =
   Arg.(
-    value & opt (some int) None
+    value
+    & opt (some (int_at_least 0 "--depth")) None
     & info [ "depth" ] ~docv:"N"
         ~doc:
           "Move-sequence bound (default: the quiescence-covering \
@@ -345,7 +399,8 @@ let depth_arg =
 
 let max_depth_arg =
   Arg.(
-    value & opt (some int) None
+    value
+    & opt (some (int_at_least 0 "--max-depth")) None
     & info [ "max-depth" ] ~docv:"N"
         ~doc:"Deepening bound for $(b,--min-witness) and $(b,--replay).")
 

@@ -136,4 +136,5 @@ let run ?(seed = 1) ?horizon ~topo ~fp ~workload () =
     snapshots = [];
     final_logs = [];
     consensus_instances = 0;
+    links = Channel_fault.stats_zero;
   }

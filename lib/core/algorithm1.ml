@@ -51,6 +51,20 @@ type t = {
   (* Messages addressed to a group the process belongs to. *)
   relevant : int list array;
   groups_of : Topology.gid list array;
+  (* Channel faults (lib/net's Channel_fault) applied to the one piece
+     of genuine inter-process communication the Prop. 1 reduction has:
+     the multicast announcement published through L_g. [visible_at.(q).(m)]
+     is the tick at which q's copy of the announcement arrives — drawn
+     once, at listing time, from a stream keyed by (fault_seed, m, q),
+     so it is a pure function of the scenario and independent of the
+     schedule. [max_int] marks a copy lost for good (never under
+     stubborn). [vis_horizon] is the largest finite arrival tick, the
+     engine's [live_until] bound. *)
+  faults : Channel_fault.spec;
+  fault_seed : int;
+  visible_at : int array array; (* visible_at.(p).(m) *)
+  mutable vis_horizon : int;
+  mutable links : Channel_fault.stats;
   mutable events : Trace.event list; (* newest first *)
   mutable seq : int;
   (* Enablement cache (hot-path indexing, DESIGN.md): a failed [step]
@@ -89,8 +103,8 @@ let log st g h =
       st.logs.(g).(h) <- Some l;
       l
 
-let create ?(variant = Vanilla) ?(enablement_cache = true) ~topo ~mu ~workload
-    () =
+let create ?(variant = Vanilla) ?(enablement_cache = true)
+    ?(faults = Channel_fault.none) ?(fault_seed = 1) ~topo ~mu ~workload () =
   let reqs = Array.of_list workload in
   let k = Array.length reqs in
   Array.iteri
@@ -135,6 +149,11 @@ let create ?(variant = Vanilla) ?(enablement_cache = true) ~topo ~mu ~workload
     h_key;
     relevant;
     groups_of = Array.init n (Topology.groups_of topo);
+    faults;
+    fault_seed;
+    visible_at = Array.make_matrix n k 0;
+    vis_horizon = 0;
+    links = Channel_fault.stats_zero;
     events = [];
     seq = 0;
     cache = enablement_cache;
@@ -178,6 +197,41 @@ let gamma_groups st p t g =
 (* Actions. Each returns true iff it executed.                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Fault injection: the fate of each member's copy of the multicast
+   announcement, drawn at listing time from a keyed stream. In the
+   shared-memory reduction the announcement is the only genuine
+   inter-process communication about m (the objects are quorum-
+   emulated), so per-(q, m) arrival times model link faults faithfully.
+   Only the earliest surviving copy matters for visibility — a
+   duplicate re-announces something idempotent — but every wire copy is
+   counted in [links]. *)
+let draw_visibility st p t m =
+  if not (Channel_fault.is_none st.faults) then
+    Pset.iter
+      (fun q ->
+        if q = p then st.visible_at.(q).(m) <- t
+        else begin
+          let rng = Channel_fault.keyed ~seed:st.fault_seed [ m; q ] in
+          let fate = Channel_fault.fate st.faults rng in
+          st.links <- Channel_fault.record st.links fate;
+          let v =
+            match fate.Channel_fault.arrivals with
+            | [] -> max_int
+            | d :: ds -> t + List.fold_left min d ds
+          in
+          st.visible_at.(q).(m) <- v;
+          if v < max_int && v > st.vis_horizon then st.vis_horizon <- v
+        end)
+      (Topology.group st.topo st.msgs.(m).Amsg.dst)
+
+(* Whether p has received the announcement of m: trivially true before
+   m is listed (every guard then sees m as absent anyway) and for ever
+   after the drawn arrival tick. *)
+let visible st p t m =
+  Channel_fault.is_none st.faults
+  || (not st.listed.(m))
+  || t >= st.visible_at.(p).(m)
+
 (* multicast(m), lines 5–7, sequenced through L_g (Prop. 1): the source
    first publishes m in the shared list. *)
 let try_list st p t m =
@@ -186,6 +240,7 @@ let try_list st p t m =
     let l = st.lists.(msg.Amsg.dst) in
     l := m :: !l;
     st.listed.(m) <- true;
+    draw_visibility st p t m;
     touch_group st msg.Amsg.dst;
     emit st (fun seq -> Trace.Invoke { m; p; time = t; seq });
     true
@@ -328,6 +383,14 @@ let try_deliver st p t m =
    under Pairwise where γ(g) = ∅ — and the [t ≥ req_at] threshold of
    try_list, which can only flip when t first crosses req_at. *)
 let skippable st p t m =
+  if not (visible st p t m) then
+    (* The announcement is still in flight: no action of p on m can
+       fire, and the crossing needs no cursor bookkeeping — listing
+       already bumped [ver_group], and cursors for (p, m) are only ever
+       written while m is visible (invisible messages never enter
+       [live]), so the first visible attempt is never skipped. *)
+    true
+  else
   match st.phase.(p).(m) with
   | Trace.Delivered -> true
   | ph ->
@@ -348,10 +411,18 @@ let enabled st ~pid:p ~time:t =
   || List.exists (fun m -> not (skippable st p t m)) st.relevant.(p)
 
 let step st ~pid:p ~time:t =
+  (* The visibility gate applies in both stepper modes — it is part of
+     the semantics, not of the enablement cache (which merely subsumes
+     it via [skippable]). With [Channel_fault.none] both filters pass
+     everything through untouched, keeping fault-free runs bit-identical
+     to the pre-fault stepper. *)
+  let base =
+    if Channel_fault.is_none st.faults then st.relevant.(p)
+    else List.filter (fun m -> visible st p t m) st.relevant.(p)
+  in
   let live =
-    if st.cache then
-      List.filter (fun m -> not (skippable st p t m)) st.relevant.(p)
-    else st.relevant.(p)
+    if st.cache then List.filter (fun m -> not (skippable st p t m)) base
+    else base
   in
   match live with
   | [] -> false
@@ -427,3 +498,14 @@ let release st ~m ~time =
   if st.req_at.(m) > time then st.req_at.(m) <- time
 
 let delivered st ~pid ~m = st.phase.(pid).(m) = Trace.Delivered
+let channel_faults st = st.faults
+let link_stats st = st.links
+let visibility_horizon st = st.vis_horizon
+
+let visibility st ~pid ~m ~time =
+  if Channel_fault.is_none st.faults || not st.listed.(m) then `Visible
+  else
+    let v = st.visible_at.(pid).(m) in
+    if v = max_int then `Lost
+    else if time >= v then `Visible
+    else `Pending (v - time)

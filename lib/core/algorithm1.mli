@@ -38,12 +38,24 @@ type t
 val create :
   ?variant:variant ->
   ?enablement_cache:bool ->
+  ?faults:Channel_fault.spec ->
+  ?fault_seed:int ->
   topo:Topology.t ->
   mu:Mu.t ->
   workload:Workload.t ->
   unit ->
   t
 (** Workload message ids must be [0 .. K-1].
+
+    [faults] (default {!Channel_fault.none}) injects channel faults
+    into the one genuine inter-process communication of the Prop. 1
+    reduction: the multicast announcement. At listing time each group
+    member [q] draws the fate of its copy from a stream keyed by
+    [(fault_seed, m, q)] — a pure function of the scenario, never of
+    the schedule — and may only act on [m] once its copy has arrived;
+    a copy lost for good (impossible with [stubborn]) hides [m] from
+    [q] forever. With [Channel_fault.none] no draw is made and the
+    stepper is bit-identical to the fault-free one.
 
     [enablement_cache] (default [true]) turns on the hot-path skip
     index: per-(process, message) failure cursors invalidated by
@@ -104,3 +116,20 @@ val release : t -> m:int -> time:int -> unit
     released here. No effect if the message was already released. *)
 
 val delivered : t -> pid:int -> m:int -> bool
+
+val channel_faults : t -> Channel_fault.spec
+(** The fault spec the run was created with. *)
+
+val link_stats : t -> Channel_fault.stats
+(** Cumulative fate of every announcement copy drawn so far. *)
+
+val visibility_horizon : t -> int
+(** Largest finite announcement-arrival tick drawn so far ([0] with no
+    faults): pass as the engine's [live_until] so a silent tick with a
+    copy still in flight does not quiesce the run. *)
+
+val visibility : t -> pid:int -> m:int -> time:int -> [ `Visible | `Pending of int | `Lost ]
+(** Whether [pid] has received the announcement of [m] at [time]:
+    [`Pending d] means the copy arrives in [d] more ticks, [`Lost]
+    that it never will. Part of the state the explorer fingerprints
+    when faults are active. *)

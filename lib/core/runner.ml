@@ -11,6 +11,7 @@ type outcome = {
   snapshots : (int * snapshot) list;
   final_logs : snapshot;
   consensus_instances : int;
+  links : Channel_fault.stats;
 }
 
 let default_horizon workload fp =
@@ -22,12 +23,24 @@ let snapshot_of st =
   List.map (fun key -> (key, Algorithm1.log_snapshot st key)) (Algorithm1.log_keys st)
 
 let run ?(variant = Algorithm1.Vanilla) ?(seed = 1) ?horizon ?mu ?scheduled
-    ?enablement_cache ?(record_snapshots = false) ~topo ~fp ~workload () =
+    ?enablement_cache ?(faults = Channel_fault.none) ?(record_snapshots = false)
+    ~topo ~fp ~workload () =
   let mu = match mu with Some m -> m | None -> Mu.make ~seed topo fp in
   let horizon =
-    match horizon with Some h -> h | None -> default_horizon workload fp
+    match horizon with
+    | Some h -> h
+    | None ->
+        (* Delayed/retransmitted announcement copies stretch the run by
+           at most the per-hop latency bound per workload message;
+           [latency_bound none = 0] keeps fault-free horizons (and so
+           fault-free runs) untouched. *)
+        default_horizon workload fp
+        + ((List.length workload + 1) * Channel_fault.latency_bound faults)
   in
-  let st = Algorithm1.create ~variant ?enablement_cache ~topo ~mu ~workload () in
+  let st =
+    Algorithm1.create ~variant ?enablement_cache ~faults ~fault_seed:seed ~topo
+      ~mu ~workload ()
+  in
   let snapshots = ref [] in
   let on_tick t = if record_snapshots then snapshots := (t, snapshot_of st) :: !snapshots in
   let max_at = List.fold_left (fun acc r -> max acc r.Workload.at) 0 workload in
@@ -41,7 +54,9 @@ let run ?(variant = Algorithm1.Vanilla) ?(seed = 1) ?horizon ?mu ?scheduled
     | Some _ -> horizon
   in
   let stats =
-    Engine.run ~fp ~horizon ~quiesce_after ~seed ?scheduled ~on_tick
+    Engine.run ~fp ~horizon ~quiesce_after
+      ~live_until:(fun () -> Algorithm1.visibility_horizon st)
+      ~seed ?scheduled ~on_tick
       ~enabled:(fun ~pid ~time -> Algorithm1.enabled st ~pid ~time)
       ~step:(Algorithm1.step st) ()
   in
@@ -55,6 +70,7 @@ let run ?(variant = Algorithm1.Vanilla) ?(seed = 1) ?horizon ?mu ?scheduled
     snapshots = List.rev !snapshots;
     final_logs = snapshot_of st;
     consensus_instances = Algorithm1.consensus_instances st;
+    links = Algorithm1.link_stats st;
   }
 
 let deliveries_complete outcome =

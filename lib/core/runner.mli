@@ -18,6 +18,9 @@ type outcome = {
   snapshots : (int * snapshot) list;  (** per tick, oldest first (if requested) *)
   final_logs : snapshot;
   consensus_instances : int;
+  links : Channel_fault.stats;
+      (** fate of every announcement copy under the run's channel-fault
+          spec ({!Channel_fault.stats_zero} for fault-free runs) *)
 }
 
 val default_horizon : Workload.t -> Failure_pattern.t -> int
@@ -31,6 +34,7 @@ val run :
   ?mu:Mu.t ->
   ?scheduled:(int -> Pset.t) ->
   ?enablement_cache:bool ->
+  ?faults:Channel_fault.spec ->
   ?record_snapshots:bool ->
   topo:Topology.t ->
   fp:Failure_pattern.t ->
@@ -42,7 +46,12 @@ val run :
     experiments. [scheduled] restricts which processes may take steps
     at each tick (P-fair runs of §6.2). [enablement_cache] (default
     [true]) is forwarded to {!Algorithm1.create}; [false] runs the
-    reference stepper, which produces the same trace, slower. *)
+    reference stepper, which produces the same trace, slower.
+
+    [faults] (default {!Channel_fault.none}) is forwarded to
+    {!Algorithm1.create} with the run's [seed] as fault seed; the
+    default horizon is stretched by the spec's latency bound and the
+    engine is kept live while announcement copies are in flight. *)
 
 val deliveries_complete : outcome -> bool
 (** Every message invoked by a correct source is delivered at every

@@ -427,7 +427,7 @@ let prop47 () =
       let omega_g = Omega.make ~restrict:group ~stabilization:10 ~seed:3 fp in
       let run ops =
         let rl =
-          Replog.create ~scope ~group
+          Replog.create ?faults:None ?seed:None ~scope ~group
             ~sigma_inter:(Sigma.query sigma_i)
             ~sigma_group:(Sigma.query sigma_g)
             ~omega_group:(Omega.query omega_g)
@@ -455,6 +455,56 @@ let prop47 () =
         (run [ (1, 10); (1, 11); (2, 10); (2, 11) ]);
       report "conflicting appends (slow path):" (run [ (1, 20); (2, 21) ]);
       fpf fmt "@]")
+
+let faults () =
+  with_buf (fun fmt ->
+      fpf fmt
+        "@[<v>== B4: claims under message loss (stubborn links restore them) ==@,\
+         figure 1, 4 messages, no crash; drop rate in basis points of %d@,\
+         %6s %9s %10s %6s %6s %10s  %-9s %s@," Channel_fault.den "drop"
+        "link" "retrans" "lost" "deliv" "safety" "term." "";
+      let topo = Topology.figure1 in
+      let n = Topology.n topo in
+      let fp = Failure_pattern.never ~n in
+      let workload = Workload.random (Rng.make 11) ~msgs:4 ~max_at:6 topo in
+      let row ~drop ~stubborn =
+        let faults = { Channel_fault.drop; dup = 0; delay = 2; stubborn } in
+        let faults = if drop = 0 then Channel_fault.none else faults in
+        let o = Runner.run ~seed:11 ~faults ~topo ~fp ~workload () in
+        let checks = Properties.all o in
+        let safety_ok =
+          List.for_all
+            (fun (name, v) -> name = "termination" || Result.is_ok v)
+            checks
+        in
+        let term =
+          match List.assoc_opt "termination" checks with
+          | Some (Ok ()) -> "ok"
+          | Some (Error _) -> "starved"
+          | None -> "-"
+        in
+        let ls = o.Runner.links in
+        fpf fmt "%6d %9s %10d %6d %6d %10s  %-9s%s@," drop
+          (if Channel_fault.is_none faults then "reliable"
+           else if stubborn then "stubborn"
+           else "fair-loss")
+          ls.Channel_fault.retransmissions ls.Channel_fault.lost
+          (List.length (Trace.deliveries o.Runner.trace))
+          (if safety_ok then "ok" else "VIOLATED") term
+          (if Channel_fault.lossy faults && term = "starved" then
+             "  (expected: loss forfeits termination)"
+           else "")
+      in
+      row ~drop:0 ~stubborn:false;
+      List.iter
+        (fun drop ->
+          row ~drop ~stubborn:false;
+          row ~drop ~stubborn:true)
+        [ 1_000; 2_500; 5_000 ];
+      fpf fmt
+        "(safety — integrity, minimality, ordering, group-sequentiality — holds@,\
+        \ at every drop rate; fair loss can only starve termination, and the@,\
+        \ stubborn retransmission layer restores it at a bounded resend cost)@,@]")
 
 let necessity () =
   with_buf (fun fmt ->
@@ -496,6 +546,7 @@ let sections =
     ("scaling", scaling);
     ("convoy", convoy);
     ("prop47", prop47);
+    ("faults", faults);
     ("necessity", necessity);
   ]
 

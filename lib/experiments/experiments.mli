@@ -41,6 +41,12 @@ val convoy : unit -> string
 val prop47 : unit -> string
 (** B3 — the fast log: message/step counts on and off the fast path. *)
 
+val faults : unit -> string
+(** B4 — claims under message loss: the specification verdicts and link
+    statistics across a drop-rate grid, with and without the stubborn
+    retransmission layer. Safety holds throughout; fair loss can only
+    starve termination, which stubborn links restore. *)
+
 val necessity : unit -> string
 (** §5 — the three extraction algorithms validated against the
     detector axioms. *)

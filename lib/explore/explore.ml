@@ -129,6 +129,13 @@ let make_ctx ~por ~cache ~claims ~stop_on_first sc =
   (match Scenario.validate sc with
   | Ok () -> ()
   | Error e -> invalid_arg ("Explore.run: " ^ e));
+  (* Under channel faults the persistent/sleep-set argument breaks:
+     announcement arrival times are absolute ticks drawn at listing
+     time, so two independent moves no longer commute across ticks
+     (swapping them shifts a listing — and with it every member's
+     arrival — by one tick). Exploration stays sound by falling back
+     to the unreduced search whenever the spec is non-trivial. *)
+  let por = por && Channel_fault.is_none sc.Scenario.faults in
   let topo = Scenario.topology sc in
   let fp = Scenario.failure_pattern sc in
   let workload = Scenario.workload sc in
@@ -165,8 +172,9 @@ let moves_array moves =
    flags (whether the pinned process actually executed an action). *)
 let replay ctx c ?on_tick moves =
   let st =
-    Algorithm1.create ~variant:ctx.sc.Scenario.variant ~topo:ctx.topo
-      ~mu:ctx.mu ~workload:ctx.workload ()
+    Algorithm1.create ~variant:ctx.sc.Scenario.variant
+      ~faults:ctx.sc.Scenario.faults ~fault_seed:ctx.sc.Scenario.seed
+      ~topo:ctx.topo ~mu:ctx.mu ~workload:ctx.workload ()
   in
   let stats, fired =
     Engine.run_pinned ~fp:ctx.fp ~seed:ctx.sc.Scenario.seed ?on_tick
@@ -193,6 +201,7 @@ let outcome_of ctx st (stats : Engine.stats) ~snapshots =
     snapshots;
     final_logs = snapshot_of st;
     consensus_instances = Algorithm1.consensus_instances st;
+    links = Algorithm1.link_stats st;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -232,8 +241,9 @@ let check_terminal ctx c tbl st stats path =
   | Error e -> record tbl "termination" e path);
   if ctx.claims then begin
     let st' =
-      Algorithm1.create ~variant:ctx.sc.Scenario.variant ~topo:ctx.topo
-        ~mu:ctx.mu ~workload:ctx.workload ()
+      Algorithm1.create ~variant:ctx.sc.Scenario.variant
+        ~faults:ctx.sc.Scenario.faults ~fault_seed:ctx.sc.Scenario.seed
+        ~topo:ctx.topo ~mu:ctx.mu ~workload:ctx.workload ()
     in
     let snaps = ref [] in
     let on_tick t = snaps := (t, snapshot_of st') :: !snaps in
@@ -305,7 +315,9 @@ let candidates ctx c ~path ~st ~t =
     | _ -> probes
   in
   let idle =
-    if t < ctx.t_steady then begin
+    (* An idle tick is also a candidate while an announcement copy is
+       still in flight: its arrival enables guards by time alone. *)
+    if t < ctx.t_steady || t < Algorithm1.visibility_horizon st then begin
       let st', stats', _ = replay ctx c (path @ [ Idle ]) in
       [ (Idle, st', stats') ]
     end
@@ -328,8 +340,16 @@ and visit_live ctx c cache_tbl vt ~path ~st ~stats ~sleep ~t ~remaining =
     ctx.cache
     &&
     let key =
-      Fingerprint.of_state ~time:(min t ctx.t_steady) ~topo:ctx.topo
-        ~msgs:ctx.k st
+      (* The steady-time cut is only sound without faults: with copies
+         in flight, states at the same cut differ by their pending
+         arrivals, which the fingerprint encodes relative to the
+         absolute clock — so the absolute clock keys the cache. *)
+      let cut =
+        if Channel_fault.is_none ctx.sc.Scenario.faults then
+          min t ctx.t_steady
+        else t
+      in
+      Fingerprint.of_state ~time:cut ~topo:ctx.topo ~msgs:ctx.k st
     in
     let entries = Option.value (Hashtbl.find_opt cache_tbl key) ~default:[] in
     if
@@ -480,7 +500,7 @@ let run ?(por = true) ?(cache = true) ?(claims = false) ?(stop_on_first = false)
     scenario = ctx.sc;
     depth;
     t_steady = ctx.t_steady;
-    por;
+    por = ctx.por;
     cache;
     claims;
     jobs;
@@ -506,7 +526,8 @@ let witness_scenario sc moves =
   Scenario.make ~crashes:sc.Scenario.crashes ~msgs:sc.Scenario.msgs
     ~variant:sc.Scenario.variant ~ablation:sc.Scenario.ablation
     ~schedule:(moves_to_schedule moves) ~max_delay:sc.Scenario.max_delay
-    ~seed:sc.Scenario.seed ~n:sc.Scenario.n sc.Scenario.groups
+    ~seed:sc.Scenario.seed ~faults:sc.Scenario.faults ~n:sc.Scenario.n
+    sc.Scenario.groups
 
 let failing_properties r =
   List.sort_uniq String.compare (List.map (fun v -> v.property) r.violations)

@@ -43,6 +43,20 @@ let render ~time ~topo ~msgs st =
     (fun ((m, fam), v) ->
       add "|C%d.%s=%d" m (String.concat "." (List.map string_of_int fam)) v)
     (Algorithm1.consensus_decisions st);
+  (* Pending announcement visibility (only under an active fault spec,
+     so fault-free fingerprints are byte-identical to the pre-fault
+     ones): for every (process, message) still waiting on its copy,
+     the remaining delay relative to [time] — or a lost marker. *)
+  (if not (Channel_fault.is_none (Algorithm1.channel_faults st)) then
+     let n = Topology.n topo in
+     for p = 0 to n - 1 do
+       for m = 0 to msgs - 1 do
+         match Algorithm1.visibility st ~pid:p ~m ~time with
+         | `Visible -> ()
+         | `Pending d -> add "|v%d.%d+%d" p m d
+         | `Lost -> add "|v%d.%d x" p m
+       done
+     done);
   (* Per-process protocol phases and delivery orders. *)
   let tr = Algorithm1.trace st in
   for p = 0 to tr.Trace.n - 1 do

@@ -50,7 +50,17 @@ let save ~dir ~name s =
   mkdir_p dir;
   let name = if has_suffix name suffix then name else name ^ suffix in
   let path = Filename.concat dir name in
-  let oc = open_out_bin path in
-  output_string oc (Scenario.to_string s);
-  close_out oc;
+  (* Atomic: write to a temp file in the same directory, then rename.
+     A crash mid-write leaves only a [.tmp] leftover, which [load]
+     ignores (wrong suffix) — never a truncated [.scenario] that would
+     poison every later replay of the corpus. *)
+  let tmp = Filename.temp_file ~temp_dir:dir "save" ".tmp" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Scenario.to_string s));
+      Sys.rename tmp path);
   path

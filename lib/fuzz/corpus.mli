@@ -18,4 +18,6 @@ val load : dir:string -> (string * (Scenario.t, string) result) list
 val save : dir:string -> name:string -> Scenario.t -> string
 (** Write [name] (the [".scenario"] suffix is appended if missing)
     into [dir], creating the directory — including missing parents —
-    if needed; returns the path. *)
+    if needed; returns the path. The write is atomic (temp file in the
+    same directory, then rename): an interrupted save never leaves a
+    partial [.scenario] behind for {!load} to trip over. *)

@@ -15,6 +15,7 @@ type t = {
   schedule : schedule;
   max_delay : int;
   seed : int;
+  faults : Channel_fault.spec;
 }
 
 let normalise_crashes crashes =
@@ -29,8 +30,8 @@ let normalise_crashes crashes =
   |> List.sort (fun (p, _) (q, _) -> Int.compare p q)
 
 let make ?(crashes = []) ?(msgs = []) ?(variant = Algorithm1.Vanilla)
-    ?(ablation = Full) ?(schedule = Free) ?(max_delay = 5) ?(seed = 1) ~n groups
-    =
+    ?(ablation = Full) ?(schedule = Free) ?(max_delay = 5) ?(seed = 1)
+    ?(faults = Channel_fault.none) ~n groups =
   {
     n;
     groups;
@@ -41,6 +42,7 @@ let make ?(crashes = []) ?(msgs = []) ?(variant = Algorithm1.Vanilla)
     schedule;
     max_delay;
     seed;
+    faults;
   }
 
 let validate s =
@@ -68,6 +70,9 @@ let validate s =
   then err "message source outside its destination group"
   else if s.max_delay < 1 then err "max-delay must be >= 1"
   else
+    match Channel_fault.validate s.faults with
+    | Error e -> err "%s" e
+    | Ok () -> (
     match s.schedule with
     | Free -> Ok ()
     | Starve { p; from_; len } ->
@@ -81,7 +86,7 @@ let validate s =
             (function Some p -> p < 0 || p >= s.n | None -> false)
             moves
         then err "pinned process outside the universe"
-        else Ok ()
+        else Ok ())
 
 let topology s = Topology.create ~n:s.n s.groups
 let failure_pattern s = Failure_pattern.of_crashes ~n:s.n s.crashes
@@ -94,6 +99,7 @@ let equal a b =
   && a.crashes = b.crashes && a.msgs = b.msgs && a.variant = b.variant
   && a.ablation = b.ablation && a.schedule = b.schedule
   && a.max_delay = b.max_delay && a.seed = b.seed
+  && Channel_fault.equal a.faults b.faults
 
 (* ------------------------------------------------------------------ *)
 (* Codec                                                               *)
@@ -131,6 +137,10 @@ let to_string s =
   line "max-delay %d" s.max_delay;
   line "variant %s" (variant_name s.variant);
   line "ablation %s" (ablation_name s.ablation);
+  (* Emitted only for non-trivial specs, so every pre-fault corpus file
+     and its byte-identical re-encoding keep working unchanged. *)
+  if not (Channel_fault.equal s.faults Channel_fault.none) then
+    line "faults %s" (Channel_fault.to_string s.faults);
   (match s.schedule with
   | Free -> line "schedule free"
   | Starve { p; from_; len } -> line "schedule starve %d %d %d" p from_ len
@@ -165,6 +175,7 @@ let of_string text =
       let max_delay = ref 5 in
       let variant = ref Algorithm1.Vanilla in
       let ablation = ref Full in
+      let faults = ref Channel_fault.none in
       let schedule = ref Free in
       let groups = ref [] in
       let crashes = ref [] in
@@ -188,6 +199,10 @@ let of_string text =
             match ablation_of_name v with
             | Some x -> Ok (ablation := x)
             | None -> err "unknown ablation %S" v)
+        | "faults" :: ws -> (
+            match Channel_fault.of_string (String.concat " " ws) with
+            | Ok f -> Ok (faults := f)
+            | Error e -> err "%s" e)
         | [ "schedule"; "free" ] -> Ok (schedule := Free)
         | [ "schedule"; "starve"; p; f; l ] -> (
             match ints [ p; f; l ] with
@@ -239,7 +254,7 @@ let of_string text =
               let s =
                 make ~crashes:(List.rev !crashes) ~msgs:(List.rev !msgs)
                   ~variant:!variant ~ablation:!ablation ~schedule:!schedule
-                  ~max_delay:!max_delay ~seed:!seed ~n
+                  ~max_delay:!max_delay ~seed:!seed ~faults:!faults ~n
                   (List.rev !groups)
               in
               Result.map (fun () -> s) (validate s)))
@@ -288,7 +303,7 @@ let run ?(record_snapshots = false) ?enablement_cache s =
             else Pset.range s.n)
   in
   Runner.run ~variant:s.variant ~seed:s.seed ?scheduled ?enablement_cache
-    ~record_snapshots ~mu ~topo ~fp ~workload ()
+    ~faults:s.faults ~record_snapshots ~mu ~topo ~fp ~workload ()
 
 let liveness_gap s =
   let topo = topology s in
@@ -317,7 +332,14 @@ let check s =
           (function
             (* property error strings already carry their own prefix *)
             | "termination", Error _
-              when Lazy.force gap || Lazy.force pairwise_cyclic ->
+              when Lazy.force gap
+                   || Lazy.force pairwise_cyclic
+                   (* Fair-loss without the stubborn layer loses
+                      announcements for good: termination is exactly
+                      the claim such links forfeit (the claims-under-
+                      loss ablation measures it), so only safety is
+                      asserted for lossy scenarios. *)
+                   || Channel_fault.lossy s.faults ->
                 None
             | _, Error e -> Some e
             | _, Ok () -> None)

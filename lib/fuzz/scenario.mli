@@ -36,7 +36,11 @@ type t = {
   ablation : ablation;
   schedule : schedule;
   max_delay : int;  (** detection-latency bound fed to [Mu.make] *)
-  seed : int;  (** engine-schedule and detector seed *)
+  seed : int;  (** engine-schedule, detector and channel-fault seed *)
+  faults : Channel_fault.spec;
+      (** channel faults applied to the multicast announcements
+          ({!Channel_fault.none} by default; drawn from a stream keyed
+          by [seed], so the codec line pins the whole fault behaviour) *)
 }
 
 val make :
@@ -47,6 +51,7 @@ val make :
   ?schedule:schedule ->
   ?max_delay:int ->
   ?seed:int ->
+  ?faults:Channel_fault.spec ->
   n:int ->
   Pset.t list ->
   t
@@ -56,8 +61,9 @@ val make :
 val validate : t -> (unit, string) result
 (** Structural well-formedness: non-empty distinct groups inside the
     universe, message sources inside their destination group, crash
-    times and pids in range, schedule window sane. Everything {!run}
-    would otherwise raise on. *)
+    times and pids in range, schedule window sane, fault spec within
+    {!Channel_fault.validate} bounds. Everything {!run} would
+    otherwise raise on. *)
 
 val topology : t -> Topology.t
 val failure_pattern : t -> Failure_pattern.t
@@ -70,7 +76,8 @@ val equal : t -> t -> bool
 val to_string : t -> string
 (** Deterministic, line-based, human-readable rendering. Canonical:
     [of_string (to_string s)] succeeds and returns a scenario equal to
-    [make]-normalised [s]. *)
+    [make]-normalised [s]. The [faults] line is only emitted for
+    non-trivial specs, so pre-fault scenario files parse unchanged. *)
 
 val of_string : string -> (t, string) result
 (** Parses the {!to_string} format. Blank lines and [#] comments are
@@ -98,5 +105,8 @@ val check : t -> (unit, string) result
     {!liveness_gap} scenarios, and for the γ-free [Pairwise] variant on
     topologies with cyclic families (the §7 variant only targets the
     [F = ∅] regime; on cycles its stable-waits can deadlock — a corner
-    this fuzzer surfaced, see corpus/pairwise-cyclic-liveness.scenario).
+    this fuzzer surfaced, see corpus/pairwise-cyclic-liveness.scenario),
+    and for {!Channel_fault.lossy} scenarios (fair loss without the
+    stubborn layer loses announcements for good — termination is the
+    claim such links forfeit; safety is still asserted).
     [Error] carries every failed check. *)

@@ -12,6 +12,7 @@ type config = {
   ablation : Scenario.ablation;
   starvation : bool;
   cyclic_only : bool;
+  faults_gen : [ `Off | `Spec of Channel_fault.spec | `Random ];
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     ablation = Scenario.Full;
     starvation = true;
     cyclic_only = false;
+    faults_gen = `Off;
   }
 
 let for_ablation ablation cfg =
@@ -117,5 +119,20 @@ let scenario c cfg =
   in
   let max_delay = if Choice.int c 4 = 0 then Choice.range c 1 8 else 5 in
   let seed = Choice.int c 1_000_000 in
+  (* Fault draws come last and only under an opted-in [faults_gen], so
+     the choice stream of every pre-fault configuration — and with it
+     every recorded witness seed — is bit-identical to before. *)
+  let faults =
+    match cfg.faults_gen with
+    | `Off -> Channel_fault.none
+    | `Spec spec -> spec
+    | `Random ->
+        {
+          Channel_fault.drop = Choice.int c 3_001;
+          dup = Choice.int c 2_001;
+          delay = Choice.int c 9;
+          stubborn = Choice.int c 2 = 1;
+        }
+  in
   Scenario.make ~crashes ~msgs ~variant ~ablation:cfg.ablation ~schedule
-    ~max_delay ~seed ~n groups
+    ~max_delay ~seed ~faults ~n groups

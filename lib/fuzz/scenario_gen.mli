@@ -21,6 +21,13 @@ type config = {
   ablation : Scenario.ablation;
   starvation : bool;  (** allow windows where one process is unscheduled *)
   cyclic_only : bool;  (** restrict to topologies with cyclic families *)
+  faults_gen : [ `Off | `Spec of Channel_fault.spec | `Random ];
+      (** channel-fault axis: [`Off] (default) generates only reliable
+          channels and consumes no extra choices, so pre-fault choice
+          streams and witness seeds are unchanged; [`Spec] stamps every
+          scenario with a fixed spec (also zero extra draws); [`Random]
+          draws drop ≤ 30%, dup ≤ 20%, delay ≤ 8 and the stubborn flag
+          from the tail of the choice stream. *)
 }
 
 val default : config

@@ -6,9 +6,10 @@ let map_nth l i f = List.mapi (fun j x -> if j = i then f x else x) l
 
 (* Re-normalise through [make] so candidates stay canonical. *)
 let rebuild s ?(n = s.n) ?(groups = s.groups) ?(crashes = s.crashes)
-    ?(msgs = s.msgs) ?(schedule = s.schedule) ?(max_delay = s.max_delay) () =
+    ?(msgs = s.msgs) ?(schedule = s.schedule) ?(max_delay = s.max_delay)
+    ?(faults = s.faults) () =
   make ~crashes ~msgs ~variant:s.variant ~ablation:s.ablation ~schedule
-    ~max_delay ~seed:s.seed ~n groups
+    ~max_delay ~seed:s.seed ~faults ~n groups
 
 let drop_messages s =
   List.mapi (fun i _ -> rebuild s ~msgs:(drop_nth s.msgs i) ()) s.msgs
@@ -115,6 +116,24 @@ let lower_detector_delay s =
   if s.max_delay > 1 then [ rebuild s ~max_delay:(max 1 (s.max_delay / 2)) () ]
   else []
 
+(* Weaken the channel-fault spec towards [none]: a violation that
+   survives without faults (or with milder ones) is the simpler
+   witness. Each move stays within [Channel_fault.validate] because it
+   only lowers fields. *)
+let weaken_faults s =
+  let f = s.faults in
+  if Channel_fault.is_none f then []
+  else
+    rebuild s ~faults:Channel_fault.none ()
+    :: List.filter_map
+         (fun f' ->
+           if Channel_fault.equal f' f then None else Some (rebuild s ~faults:f' ()))
+         [
+           { f with Channel_fault.drop = f.Channel_fault.drop / 2 };
+           { f with Channel_fault.dup = 0 };
+           { f with Channel_fault.delay = f.Channel_fault.delay / 2 };
+         ]
+
 let candidates s =
   List.concat
     [
@@ -127,6 +146,7 @@ let candidates s =
       lower_crash_times s;
       lower_invocation_times s;
       lower_detector_delay s;
+      weaken_faults s;
     ]
   |> List.filter (fun c -> Scenario.validate c = Ok ())
 

@@ -5,7 +5,8 @@
     well-formed: drop a message, un-crash a process, lower a crash time
     or invocation tick, remove a destination group (remapping the
     workload), shrink group membership, trim unused processes, relax the
-    schedule, lower the detector latency. {!minimize} greedily applies
+    schedule, lower the detector latency, weaken the channel-fault
+    spec towards {!Channel_fault.none}. {!minimize} greedily applies
     moves while the scenario keeps failing {!Scenario.check}, down to a
     local minimum. *)
 

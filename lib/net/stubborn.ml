@@ -1,0 +1,20 @@
+(* Stubborn links: the standard construction that restores the paper's
+   reliable-link assumption on top of fair loss. The wrapper is the
+   fault-parameterised [Net] with the [stubborn] switch forced on: a
+   lost wire copy is retransmitted once per tick until one gets
+   through, and every retransmission is counted so experiments can
+   report the overhead of reliability. *)
+
+type 'm t = 'm Net.t
+
+let[@warning "-16"] create ?(faults = Channel_fault.none) ?seed ~n =
+  Net.create ~faults:{ faults with Channel_fault.stubborn = true } ?seed ~n
+
+let send = Net.send
+let multicast = Net.multicast
+let receive = Net.receive
+let pending = Net.pending
+let total_sent = Net.total_sent
+let faults = Net.faults
+let stats = Net.stats
+let retransmissions t = (Net.stats t).Channel_fault.retransmissions

@@ -1,0 +1,25 @@
+(** Stubborn retransmission over fair-loss links.
+
+    [Stubborn.create ~faults ~n] is {!Net.create} with the spec's
+    [stubborn] switch forced on: every lost wire copy is retransmitted
+    (once per tick) until one gets through, so — as long as the spec
+    passes {!Channel_fault.validate}, i.e. [drop < den] — every
+    transmission is eventually delivered. This is the standard
+    stubborn-link construction that recovers the paper's reliable-link
+    assumption from fair loss; the price is retransmission traffic,
+    which {!retransmissions} exposes for the claims-under-loss
+    ablation. *)
+
+type 'm t = 'm Net.t
+
+val create : ?faults:Channel_fault.spec -> ?seed:int -> n:int -> 'm t
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+val multicast : 'm t -> src:int -> Pset.t -> 'm -> unit
+val receive : 'm t -> int -> (int * 'm) option
+val pending : 'm t -> int -> int
+val total_sent : 'm t -> int
+val faults : 'm t -> Channel_fault.spec
+val stats : 'm t -> Channel_fault.stats
+
+val retransmissions : 'm t -> int
+(** Total stubborn resends so far — the overhead of reliability. *)

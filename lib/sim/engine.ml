@@ -5,7 +5,8 @@ type stats = {
   quiescent : bool;
 }
 
-let run ~fp ~horizon ?(quiesce_after = 0) ?(seed = 1) ?scheduled
+let run ~fp ~horizon ?(quiesce_after = 0) ?(live_until = fun () -> 0)
+    ?(seed = 1) ?scheduled
     ?(enabled = fun ~pid:(_ : int) ~time:(_ : int) -> true)
     ?(steps_per_tick = 1) ?(on_tick = fun (_ : int) -> ()) ~step () =
   let n = Failure_pattern.n fp in
@@ -79,7 +80,10 @@ let run ~fp ~horizon ?(quiesce_after = 0) ?(seed = 1) ?scheduled
             in
             attempts steps_per_tick)
         order;
-      if (not !any) && t >= quiesce_after then
+      (* [live_until] is re-queried every tick: delayed channel copies
+         (fault injection) can enable guards by time alone, so a silent
+         tick is only quiescent once no arrival is still pending. *)
+      if (not !any) && t >= quiesce_after && t >= live_until () then
         { steps; executed = !executed; ticks_used = t; quiescent = true }
       else tick (t + 1)
     end

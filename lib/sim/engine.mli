@@ -23,6 +23,7 @@ val run :
   fp:Failure_pattern.t ->
   horizon:int ->
   ?quiesce_after:int ->
+  ?live_until:(unit -> int) ->
   ?seed:int ->
   ?scheduled:(int -> Pset.t) ->
   ?enabled:(pid:int -> time:int -> bool) ->
@@ -35,6 +36,12 @@ val run :
     may stop because a full tick passed with no action executed. Set it
     beyond every crash time and detector delay, since guards can become
     enabled by time alone.
+
+    [live_until] (default [fun () -> 0]): a dynamic lower bound on
+    quiescence, re-queried at every silent tick. Fault-injecting
+    channels use it to keep the engine running while a delayed or
+    retransmitted copy is still in flight — such arrivals enable
+    guards by time alone, invisibly to [step]'s return values.
 
     [enabled] (default: always [true]) is a sound-to-skip hint: when it
     returns [false] the engine does not call [step] for that process at

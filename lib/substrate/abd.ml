@@ -30,12 +30,13 @@ type t = {
 
 type opid = int
 
-let create ~scope ~sigma =
+let[@warning "-16"] create ?(faults = Channel_fault.none) ?(seed = 1) ~scope
+    ~sigma =
   let n = 1 + Pset.fold max scope 0 in
   {
     scope;
     sigma;
-    net = Net.create ~n;
+    net = Net.create ~faults ~seed ~n;
     tags = Array.make n { ts = 0; w = -1 };
     values = Array.make n 0;
     ops = Hashtbl.create 16;

@@ -9,10 +9,15 @@
 type t
 
 val create :
+  ?faults:Channel_fault.spec ->
+  ?seed:int ->
   scope:Pset.t ->
   sigma:(int -> int -> Pset.t option) ->
   t
-(** [sigma p t] is the Σ (restricted to [scope]) oracle. *)
+(** [sigma p t] is the Σ (restricted to [scope]) oracle. [faults]
+    (default {!Channel_fault.none}) parameterises the protocol's
+    message buffer; quorum emulation tolerates loss only under a
+    stubborn spec. *)
 
 type opid
 

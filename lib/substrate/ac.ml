@@ -17,12 +17,13 @@ type t = {
   nodes : node array;
 }
 
-let create ~scope ~sigma =
+let[@warning "-16"] create ?(faults = Channel_fault.none) ?(seed = 1) ~scope
+    ~sigma =
   let n = 1 + Pset.fold max scope 0 in
   {
     scope;
     sigma;
-    net = Net.create ~n;
+    net = Net.create ~faults ~seed ~n;
     nodes =
       Array.init n (fun _ ->
           { proposal = None; r1_seen = []; r2_seen = []; in_r2 = false; outcome = None });

@@ -14,9 +14,13 @@
 type t
 
 val create :
+  ?faults:Channel_fault.spec ->
+  ?seed:int ->
   scope:Pset.t ->
   sigma:(int -> int -> Pset.t option) ->
   t
+(** [faults] (default {!Channel_fault.none}) parameterises the
+    protocol's message buffer. *)
 
 val propose : t -> pid:int -> value:int -> unit
 (** Each scope member proposes at most once. *)

@@ -18,13 +18,16 @@ type t = {
   sigma_inter : int -> int -> Pset.t option;
   sigma_group : int -> int -> Pset.t option;
   omega_group : int -> int -> int option;
+  faults : Channel_fault.spec;
+  seed : int;
   slots : (int, slot) Hashtbl.t;
   clients : client array;
   mutable fast : int;
   mutable slow : int;
 }
 
-let create ~scope ~group ~sigma_inter ~sigma_group ~omega_group =
+let[@warning "-16"] create ?(faults = Channel_fault.none) ?(seed = 1) ~scope
+    ~group ~sigma_inter ~sigma_group ~omega_group =
   if not (Pset.subset scope group) then
     invalid_arg "Replog.create: scope must be inside the host group";
   let n = 1 + Pset.fold max group 0 in
@@ -34,6 +37,8 @@ let create ~scope ~group ~sigma_inter ~sigma_group ~omega_group =
     sigma_inter;
     sigma_group;
     omega_group;
+    faults;
+    seed;
     slots = Hashtbl.create 16;
     clients =
       Array.init n (fun _ ->
@@ -42,22 +47,32 @@ let create ~scope ~group ~sigma_inter ~sigma_group ~omega_group =
     slow = 0;
   }
 
+(* Per-slot fault seeds: each slot's adopt-commit and consensus get
+   distinct deterministic streams derived from the log's seed. *)
 let slot_of t s =
   match Hashtbl.find_opt t.slots s with
   | Some sl -> sl
   | None ->
       let sl =
-        { ac = Ac.create ~scope:t.scope ~sigma:t.sigma_inter; synod = None; fast_value = None }
+        {
+          ac =
+            Ac.create ~faults:t.faults ~seed:(t.seed + (2 * s)) ~scope:t.scope
+              ~sigma:t.sigma_inter;
+          synod = None;
+          fast_value = None;
+        }
       in
       Hashtbl.replace t.slots s sl;
       sl
 
-let ensure_synod t sl =
+let ensure_synod t s sl =
   match sl.synod with
   | Some sy -> sy
   | None ->
       let sy =
-        Synod.create ~scope:t.group ~sigma:t.sigma_group ~omega:t.omega_group
+        Synod.create ~faults:t.faults
+          ~seed:(t.seed + (2 * s) + 1)
+          ~scope:t.group ~sigma:t.sigma_group ~omega:t.omega_group
       in
       sl.synod <- Some sy;
       t.slow <- t.slow + 1;
@@ -106,7 +121,7 @@ let client_transitions t p time =
             decide_local t p v;
             true
         | Some (`Adopt v) -> (
-            let sy = ensure_synod t sl in
+            let sy = ensure_synod t c.slot sl in
             if not c.proposed_synod then begin
               c.proposed_synod <- true;
               Synod.propose sy ~pid:p ~value:v;

@@ -13,6 +13,8 @@
 type t
 
 val create :
+  ?faults:Channel_fault.spec ->
+  ?seed:int ->
   scope:Pset.t ->
   group:Pset.t ->
   sigma_inter:(int -> int -> Pset.t option) ->
@@ -20,7 +22,10 @@ val create :
   omega_group:(int -> int -> int option) ->
   t
 (** [scope] is [g ∩ h] (the appenders), [group] is [g] (the consensus
-    host). [scope ⊆ group] is required. *)
+    host). [scope ⊆ group] is required. [faults] (default
+    {!Channel_fault.none}) parameterises the message buffers of every
+    slot's adopt-commit and consensus, each keyed by a distinct seed
+    derived from [seed]. *)
 
 val append : t -> pid:int -> op:int -> unit
 (** Enqueue an operation (a distinct integer) for appending by [pid]

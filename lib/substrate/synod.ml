@@ -34,14 +34,18 @@ type t = {
   nodes : node array;
 }
 
-let create ~scope ~sigma ~omega =
+(* Optionals before the labelled args keep existing call sites
+   compiling unchanged (warning 16 is noise: the labelled application
+   below is total). *)
+let[@warning "-16"] create ?(faults = Channel_fault.none) ?(seed = 1) ~scope
+    ~sigma ~omega =
   let n = 1 + Pset.fold max scope 0 in
   {
     scope;
     size = n;
     sigma;
     omega;
-    net = Net.create ~n;
+    net = Net.create ~faults ~seed ~n;
     nodes =
       Array.init n (fun _ ->
           {

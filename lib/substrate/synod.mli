@@ -10,10 +10,15 @@
 type t
 
 val create :
+  ?faults:Channel_fault.spec ->
+  ?seed:int ->
   scope:Pset.t ->
   sigma:(int -> int -> Pset.t option) ->
   omega:(int -> int -> int option) ->
   t
+(** [faults] (default {!Channel_fault.none}) parameterises the
+    protocol's message buffer; Paxos stays safe under any spec and
+    live under a stubborn one. *)
 
 val propose : t -> pid:int -> value:int -> unit
 (** Register an input value. A process may act as leader only after

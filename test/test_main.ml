@@ -42,6 +42,7 @@ let () =
       ("substrate", Test_substrate.suite);
       ("cht", Test_cht.suite);
       ("fuzz", Test_fuzz.suite);
+      ("faults", Test_faults.suite);
       ("explore", Test_explore.suite);
       ("trace identity", Test_trace_identity.suite);
       ("trace index", Test_trace_index.suite);

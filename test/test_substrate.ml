@@ -6,7 +6,7 @@ let drive ?(horizon = 4000) ?(quiesce_after = 40) fp step =
 (* ---------------- net ---------------------------------------------- *)
 
 let net_fifo () =
-  let net = Net.create ~n:2 in
+  let net = Net.create ?faults:None ?seed:None ~n:2 in
   Net.send net ~src:0 ~dst:1 "a";
   Net.send net ~src:0 ~dst:1 "b";
   Alcotest.(check int) "pending" 2 (Net.pending net 1);
@@ -25,7 +25,7 @@ let abd_read_after_write () =
   let scope = Pset.range n in
   let fp = Failure_pattern.never ~n in
   let sigma = Sigma.make ~restrict:scope fp in
-  let reg = Abd.create ~scope ~sigma:(Sigma.query sigma) in
+  let reg = Abd.create ?faults:None ?seed:None ~scope ~sigma:(Sigma.query sigma) in
   let w = Abd.write reg ~pid:0 ~value:42 in
   ignore (drive fp (fun ~pid ~time -> Abd.step reg ~pid ~time));
   Alcotest.(check (option int)) "write completes" (Some 42) (Abd.poll reg ~pid:0 w);
@@ -39,7 +39,7 @@ let abd_under_crash () =
   let scope = Pset.range n in
   let fp = Failure_pattern.of_crashes ~n [ (1, 2) ] in
   let sigma = Sigma.make ~restrict:scope fp in
-  let reg = Abd.create ~scope ~sigma:(Sigma.query sigma) in
+  let reg = Abd.create ?faults:None ?seed:None ~scope ~sigma:(Sigma.query sigma) in
   let w = Abd.write reg ~pid:0 ~value:7 in
   ignore (drive fp (fun ~pid ~time -> Abd.step reg ~pid ~time));
   Alcotest.(check (option int)) "write completes" (Some 7) (Abd.poll reg ~pid:0 w);
@@ -55,7 +55,7 @@ let abd_last_write_wins =
       let scope = Pset.range n in
       let fp = Failure_pattern.never ~n in
       let sigma = Sigma.make ~restrict:scope fp in
-      let reg = Abd.create ~scope ~sigma:(Sigma.query sigma) in
+      let reg = Abd.create ?faults:None ?seed:None ~scope ~sigma:(Sigma.query sigma) in
       let rng = Rng.make seed in
       let writes = List.init 4 (fun i -> (Rng.int rng n, 100 + i)) in
       let ok = ref true in
@@ -76,7 +76,7 @@ let ac_solo_commits () =
   let scope = Pset.of_list [ 0; 1; 2 ] in
   let fp = Failure_pattern.never ~n:3 in
   let sigma = Sigma.make ~restrict:scope fp in
-  let ac = Ac.create ~scope ~sigma:(Sigma.query sigma) in
+  let ac = Ac.create ?faults:None ?seed:None ~scope ~sigma:(Sigma.query sigma) in
   Ac.propose ac ~pid:0 ~value:5;
   ignore (drive fp (fun ~pid ~time -> Ac.step ac ~pid ~time));
   (* all participants resolve (the join rule pulls in the idle ones) *)
@@ -97,7 +97,7 @@ let ac_properties =
       let scope = Pset.range n in
       let fp = Failure_pattern.never ~n in
       let sigma = Sigma.make ~restrict:scope fp in
-      let ac = Ac.create ~scope ~sigma:(Sigma.query sigma) in
+      let ac = Ac.create ?faults:None ?seed:None ~scope ~sigma:(Sigma.query sigma) in
       List.iteri (fun p v -> Ac.propose ac ~pid:p ~value:v) values;
       ignore
         (Engine.run ~fp ~horizon:2000 ~quiesce_after:20 ~seed
@@ -132,7 +132,7 @@ let synod_properties =
       let sigma = Sigma.make ~restrict:scope fp in
       let omega = Omega.make ~restrict:scope ~stabilization:25 ~seed fp in
       let sy =
-        Synod.create ~scope ~sigma:(Sigma.query sigma) ~omega:(Omega.query omega)
+        Synod.create ?faults:None ?seed:None ~scope ~sigma:(Sigma.query sigma) ~omega:(Omega.query omega)
       in
       let inputs = List.init n (fun p -> 100 + ((p + seed) mod 3)) in
       List.iteri (fun p v -> Synod.propose sy ~pid:p ~value:v) inputs;
@@ -155,7 +155,7 @@ let mk_replog fp =
   let sigma_i = Sigma.make ~restrict:scope fp in
   let sigma_g = Sigma.make ~restrict:group fp in
   let omega_g = Omega.make ~restrict:group ~stabilization:10 ~seed:3 fp in
-  Replog.create ~scope ~group
+  Replog.create ?faults:None ?seed:None ~scope ~group
     ~sigma_inter:(Sigma.query sigma_i)
     ~sigma_group:(Sigma.query sigma_g)
     ~omega_group:(Omega.query omega_g)
@@ -221,7 +221,7 @@ let replog_strongly_genuine () =
   let sigma_i = Sigma.make ~restrict:scope fp in
   let omega_i = Omega.make ~restrict:scope ~stabilization:10 ~seed:5 fp in
   let rl =
-    Replog.create ~scope ~group:scope
+    Replog.create ?faults:None ?seed:None ~scope ~group:scope
       ~sigma_inter:(Sigma.query sigma_i)
       ~sigma_group:(Sigma.query sigma_i)
       ~omega_group:(Omega.query omega_i)
