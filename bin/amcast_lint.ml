@@ -1,18 +1,12 @@
-(* CLI for the determinism & hygiene linter (lib/lint). Exits 0 when
-   the tree is clean, 1 on any error-severity diagnostic, 2 on usage
-   errors. `dune build @lint` runs it over lib/ bin/ bench/. *)
+(* CLI for the static passes: the syntactic determinism & hygiene
+   linter (lib/lint, the default command) and the typed domain-safety
+   race pass (lib/racecheck, the `racecheck` subcommand). Both exit 0
+   when the tree is clean, 1 on any error-severity diagnostic, 2 on
+   usage errors. `dune build @lint` runs the linter over lib/ bin/
+   bench/; `dune build @racecheck` runs the typed pass; `dune build
+   @static` runs both. *)
 
 open Cmdliner
-
-let rules_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "rules" ] ~docv:"R1,R2"
-        ~doc:
-          "Comma-separated subset of rules to run (default: all). Known \
-           rules: $(b,poly-compare), $(b,wall-clock), $(b,hashtbl-order), \
-           $(b,global-mutable), $(b,io-in-lib), $(b,mli-presence).")
 
 let scope_arg =
   Arg.(
@@ -38,21 +32,35 @@ let format_arg =
   Arg.(
     value
     & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: text or json. JSON diagnostics carry a $(b,pass) \
+           field (\"syntactic\" or \"typed\") so reports from both passes \
+           merge cleanly.")
 
 let paths_arg =
   Arg.(
     value & pos_all string []
     & info [] ~docv:"PATH"
-        ~doc:"Files or directories to lint (default: lib bin bench).")
+        ~doc:"Files or directories to check (default: lib bin bench).")
 
-let run rules scope format paths =
+let exit_codes_man =
+  [
+    `S Manpage.s_exit_status;
+    `P "$(b,0) — the checked tree is clean (warnings allowed).";
+    `P "$(b,1) — at least one error-severity diagnostic.";
+    `P "$(b,2) — usage error (unknown rule, missing path, bad flag).";
+  ]
+
+(* Shared driver: validate the rule subset and paths, run one of the
+   passes, print, and map diagnostics to the documented exit codes. *)
+let run_pass ~known ~f rules scope format paths =
   let paths = if paths = [] then [ "lib"; "bin"; "bench" ] else paths in
   let rules = Option.map (String.split_on_char ',') rules in
   let unknown =
     match rules with
     | None -> []
-    | Some rs -> List.filter (fun r -> not (List.mem r Lint.rule_names)) rs
+    | Some rs -> List.filter (fun r -> not (List.mem r known)) rs
   in
   match unknown with
   | r :: _ ->
@@ -65,7 +73,7 @@ let run rules scope format paths =
         2
       end
       else begin
-        let diags = Lint.lint_paths ?rules ~scope paths in
+        let diags = f ?rules ~scope paths in
         print_string
           (match format with
           | `Text -> Lint.to_text diags
@@ -73,8 +81,28 @@ let run rules scope format paths =
         if Lint.has_errors diags then 1 else 0
       end
 
-let cmd =
-  let doc = "static determinism & hygiene linter for the repro tree" in
+(* --- default command: the syntactic linter ------------------------- *)
+
+let lint_rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"R1,R2"
+        ~doc:
+          "Comma-separated subset of rules to run (default: all). Known \
+           rules: $(b,poly-compare), $(b,wall-clock), $(b,hashtbl-order), \
+           $(b,global-mutable), $(b,io-in-lib), $(b,mli-presence).")
+
+let lint_term =
+  Term.(
+    const (fun rules scope format paths ->
+        run_pass ~known:Lint.rule_names
+          ~f:(fun ?rules ~scope paths -> Lint.lint_paths ?rules ~scope paths)
+          rules scope format paths)
+    $ lint_rules_arg $ scope_arg $ format_arg $ paths_arg)
+
+let lint_cmd =
+  let doc = "syntactic determinism & hygiene linter (the default command)" in
   let man =
     [
       `S Manpage.s_description;
@@ -84,13 +112,110 @@ let cmd =
          comparators, no ambient clock/randomness, sorted Hashtbl \
          iteration, no shared top-level mutable state, no console IO in \
          libraries, and an .mli per library module.";
+    ]
+    @ exit_codes_man
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man) lint_term
+
+(* --- racecheck subcommand: the typed domain-safety pass ------------ *)
+
+let rc_rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"R1,R2"
+        ~doc:
+          "Comma-separated subset of rules to run (default: all). Known \
+           rules: $(b,shared-mutable-capture), $(b,unsynchronized-hashtbl), \
+           $(b,mutable-global-reached), $(b,non-atomic-signal), \
+           $(b,missing-cmt).")
+
+let build_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "build-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory searched (recursively) for .cmt files. Default: \
+           $(b,_build/default) when it exists, else $(b,.) — the latter is \
+           what the dune @racecheck rule relies on, since dune runs actions \
+           inside the build context.")
+
+let racecheck_cmd =
+  let doc = "typed domain-safety (data-race) pass over dune-built .cmt files" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads the Typedtree from the .cmt files dune produces and checks \
+         every closure passed to Domain_pool.map, Domain_pool.find_first or \
+         Domain.spawn for mutable state shared across domains: captured \
+         refs/arrays/Buffers/mutable records (shared-mutable-capture), \
+         captured Hashtbls (unsynchronized-hashtbl), module-level mutable \
+         state reached directly or through a one-level helper \
+         (mutable-global-reached), and written scalar refs that should be \
+         Atomic.t (non-atomic-signal). Atomic.t values, Mutex-bracketed \
+         uses, and worker-local allocations are safe. Sources without a \
+         .cmt get a missing-cmt warning.";
+      `P
+        "Suppress a finding with [@lint.allow \"<rule>\"] on the expression \
+         or binding, or [@@@lint.allow \"<rule>\"] for a whole file — the \
+         same escape hatch as the syntactic linter. Policy: every \
+         suppression carries a one-line justification comment.";
+    ]
+    @ exit_codes_man
+  in
+  Cmd.v
+    (Cmd.info "racecheck" ~doc ~man)
+    Term.(
+      const (fun rules scope format build_dir paths ->
+          run_pass ~known:Racecheck.rule_names
+            ~f:(fun ?rules ~scope paths ->
+              Racecheck.analyze ?rules ~scope ?build_dir paths)
+            rules scope format paths)
+      $ rc_rules_arg $ scope_arg $ format_arg $ build_dir_arg $ paths_arg)
+
+let top_doc = "static analyses for the repro tree (lint + typed racecheck)"
+
+let top_man =
+  [
+      `S Manpage.s_description;
+      `P
+        "With no subcommand (or as $(b,amcast_lint lint)), runs the \
+         syntactic determinism & hygiene linter: parses every .ml file \
+         with compiler-libs and enforces the replayability invariants the \
+         reproduction depends on — typed comparators, no ambient \
+         clock/randomness, sorted Hashtbl iteration, no shared top-level \
+         mutable state, no console IO in libraries, and an .mli per \
+         library module.";
+      `P
+        "The $(b,racecheck) subcommand runs the typed domain-safety pass \
+         over dune-built .cmt files (see $(b,amcast_lint racecheck \
+         --help)).";
       `P
         "Suppress a finding with [@lint.allow \"<rule>\"] on the expression \
          or binding, or [@@@lint.allow \"<rule>\"] for a whole file.";
-    ]
-  in
-  Cmd.v
-    (Cmd.info "amcast_lint" ~doc ~man)
-    Term.(const run $ rules_arg $ scope_arg $ format_arg $ paths_arg)
+  ]
+  @ exit_codes_man
 
-let () = exit (Cmd.eval' cmd)
+let group =
+  Cmd.group ~default:lint_term
+    (Cmd.info "amcast_lint" ~doc:top_doc ~man:top_man)
+    [ lint_cmd; racecheck_cmd ]
+
+(* The same lint term as a plain command, with all flags and the
+   positional paths parsed at top level. *)
+let standalone =
+  Cmd.v (Cmd.info "amcast_lint" ~doc:top_doc ~man:top_man) lint_term
+
+(* `amcast_lint lib bin bench` (paths only, no subcommand) predates
+   the subcommands and must keep working, but Cmd.group would eat the
+   first path as a command-name attempt. Dispatch on argv: a known
+   subcommand name goes through the group, anything else evaluates
+   the lint command directly with its positional paths intact. *)
+let () =
+  let subcommands = [ "lint"; "racecheck" ] in
+  let wants_group =
+    Array.length Sys.argv > 1 && List.mem Sys.argv.(1) subcommands
+  in
+  exit (Cmd.eval' (if wants_group then group else standalone))

@@ -554,6 +554,6 @@ let all ?(jobs = 1) () =
   (* Each section is a pure closure rendering into its own buffer, so
      they can be evaluated concurrently; Domain_pool.map returns them
      in index order, which keeps the printed report canonical. *)
-  let secs = Array.of_list sections in
-  Domain_pool.map ~jobs (Array.length secs) (fun i -> snd secs.(i) ())
+  let n = List.length sections in
+  Domain_pool.map ~jobs n (fun i -> snd (List.nth sections i) ())
   |> Array.to_list |> String.concat "\n"

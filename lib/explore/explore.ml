@@ -406,33 +406,40 @@ and visit_live ctx c cache_tbl vt ~path ~st ~stats ~sleep ~t ~remaining =
 
 (* One root branch = one unit of [--jobs] fan-out. Fresh cache, fresh
    counters, fresh violation table per branch — also under jobs = 1, so
-   reports are bit-identical across job counts. *)
-let explore_branch ctx sel ~depth i =
+   reports are bit-identical across job counts. The branch input
+   (including its sleep set, which depends on earlier siblings) is
+   precomputed sequentially by [branch_inputs], so workers share
+   nothing mutable. *)
+let explore_branch ctx ~depth (mv, st, stats, sleep) =
   let c = fresh_acc () in
   let vt = Hashtbl.create 16 in
   let cache_tbl = Hashtbl.create 1024 in
-  let mv, st, stats = sel.(i) in
-  let sleep =
-    match mv with
-    | Idle -> Pset.empty
-    | Step p ->
-        if ctx.por && ctx.t_steady = 0 then begin
-          (* Same sleep rule as sequential siblings: earlier branches
-             independent of this one are asleep here. *)
-          let s = ref Pset.empty in
-          for j = 0 to i - 1 do
-            match sel.(j) with
-            | Step q, _, _ when not (Topology.interacting ctx.topo q p) ->
-                s := Pset.add q !s
-            | _ -> ()
-          done;
-          !s
-        end
-        else Pset.empty
-  in
   visit ctx c cache_tbl vt ~path:[ mv ] ~st ~stats ~sleep ~t:1
     ~remaining:(depth - 1);
   (c, vt, if ctx.cache then Hashtbl.length cache_tbl else 0)
+
+let branch_inputs ctx children =
+  List.mapi
+    (fun i (mv, st, stats) ->
+      let sleep =
+        match mv with
+        | Idle -> Pset.empty
+        | Step p ->
+            if ctx.por && ctx.t_steady = 0 then
+              (* Same sleep rule as sequential siblings: earlier
+                 branches independent of this one are asleep here. *)
+              List.filteri (fun j _ -> j < i) children
+              |> List.fold_left
+                   (fun s (mvj, _, _) ->
+                     match mvj with
+                     | Step q when not (Topology.interacting ctx.topo q p) ->
+                         Pset.add q s
+                     | _ -> s)
+                   Pset.empty
+            else Pset.empty
+      in
+      (mv, st, stats, sleep))
+    children
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -463,9 +470,9 @@ let run ?(por = true) ?(cache = true) ?(claims = false) ?(stop_on_first = false)
           check_terminal ctx rootc viols st0 stats0 [];
           [||]
       | children ->
-          let sel = Array.of_list children in
-          Domain_pool.map ~jobs (Array.length sel)
-            (explore_branch ctx sel ~depth)
+          let inputs = branch_inputs ctx children in
+          Domain_pool.map ~jobs (List.length inputs) (fun i ->
+              explore_branch ctx ~depth (List.nth inputs i))
   in
   (* Merge branch results in branch order: counters sum, violations
      keep the shortest witness (ties: earliest branch). *)

@@ -1,0 +1,25 @@
+(* One file-walker for both static passes: the syntactic linter walks
+   source trees (skipping _build and dot-directories), the typed
+   racecheck pass walks a dune build directory for .cmt files (which
+   live inside dot-directories like .amcast_util.objs). Roots are
+   always entered, even when they name _build itself or a hidden
+   directory — skipping only applies to entries discovered during the
+   walk. *)
+
+let files ?(enter_hidden = false) ~ext roots =
+  let skip name =
+    name = "" || name = "_build" || ((not enter_hidden) && name.[0] = '.')
+  in
+  let rec walk path acc =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc f ->
+             if skip f then acc else walk (Filename.concat path f) acc)
+           acc
+    else if Filename.check_suffix path ext then path :: acc
+    else acc
+  in
+  List.fold_left (fun acc root -> walk root acc) [] roots
+  |> List.sort_uniq String.compare

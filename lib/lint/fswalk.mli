@@ -1,0 +1,12 @@
+(** Shared recursive file discovery for the static passes.
+
+    [files ~ext roots] returns every file under [roots] (recursively)
+    whose name ends in [ext], sorted and deduplicated. Directory
+    entries named [_build] are always skipped; entries starting with a
+    dot are skipped unless [enter_hidden] is set (the typed pass needs
+    it: dune keeps [.cmt] files inside dot-directories such as
+    [.amcast_util.objs]). The [roots] themselves are entered
+    unconditionally, so a walker explicitly pointed at a build
+    directory still works. *)
+
+val files : ?enter_hidden:bool -> ext:string -> string list -> string list

@@ -10,6 +10,7 @@ type severity = Warning | Error
 type diagnostic = {
   rule : string;
   severity : severity;
+  pass : string;
   file : string;
   line : int;
   col : int;
@@ -45,11 +46,15 @@ let rule_names = List.map fst rules
 (* Libraries where a replay divergence corrupts every downstream
    result: the seeded substrate itself plus everything a fuzz trial
    executes. The rest of lib/ gets warnings for the representation
-   rules but stays error-strict on IO, clocks and interfaces. *)
+   rules but stays error-strict on IO, clocks and interfaces.
+   [experiments] is strict because `Experiments.all ?jobs` farms its
+   sections across Domain_pool and promises a canonical report;
+   [racecheck] because an analyzer that diverges across runs would make
+   the @racecheck gate flaky. *)
 let strict_libs =
   [
     "sim"; "core"; "fuzz"; "net"; "objects"; "substrate"; "util"; "lint";
-    "explore";
+    "explore"; "experiments"; "racecheck";
   ]
 
 let segments file =
@@ -183,6 +188,19 @@ let mutable_ctors =
     "Array.make";
   ]
 
+(* Synchronized shared state is the *blessed* form of a top-level
+   mutable: the typed racecheck pass classifies Atomic.t/Mutex.t roots
+   as safe, and the syntactic rule must agree so that a cleanup never
+   trades one pass's diagnostic for the other's. *)
+let safe_ctors =
+  [
+    "Atomic.make";
+    "Mutex.create";
+    "Condition.create";
+    "Semaphore.Counting.make";
+    "Semaphore.Binary.make";
+  ]
+
 (* A syntactically composite literal: comparing one with =/<>/min/max
    is certainly a structural comparison. Bare Some/Ok/Error and
    argument-less constructors stay silent — option/result scrutiny
@@ -267,6 +285,7 @@ let report ctx rule (loc : Location.t) msg =
           {
             rule;
             severity;
+            pass = "syntactic";
             file = ctx.file;
             line = p.pos_lnum;
             col = p.pos_cnum - p.pos_bol;
@@ -335,7 +354,9 @@ let rec mutable_head e =
   | Pexp_constraint (e, _) -> mutable_head e
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
       let n = unqualify (name_of txt) in
-      if List.mem n mutable_ctors then Some n else None
+      if List.mem n safe_ctors then None
+      else if List.mem n mutable_ctors then Some n
+      else None
   | _ -> None
 
 let check_global_mutable ctx (vb : value_binding) =
@@ -415,6 +436,7 @@ let lint_string ?(scope = Auto) ?(rules = rule_names) ~file source =
         {
           rule = "parse-error";
           severity = Error;
+          pass = "syntactic";
           file;
           line = 1;
           col = 0;
@@ -436,18 +458,6 @@ let lint_string ?(scope = Auto) ?(rules = rule_names) ~file source =
       run_iterator ctx str;
       List.sort compare_diag ctx.diags
 
-let rec walk path acc =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list
-    |> List.sort String.compare
-    |> List.fold_left
-         (fun acc f ->
-           if f = "" || f.[0] = '.' || f = "_build" then acc
-           else walk (Filename.concat path f) acc)
-         acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
-
 let read_file path =
   In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
 
@@ -461,6 +471,7 @@ let check_mli scope file =
           {
             rule = "mli-presence";
             severity;
+            pass = "syntactic";
             file;
             line = 1;
             col = 0;
@@ -474,8 +485,7 @@ let check_mli scope file =
   else []
 
 let lint_paths ?(scope = Auto) ?(rules = rule_names) paths =
-  let files = List.fold_left (fun acc p -> walk p acc) [] paths in
-  let files = List.sort_uniq String.compare files in
+  let files = Fswalk.files ~ext:".ml" paths in
   List.concat_map
     (fun f ->
       let mli =
@@ -531,10 +541,11 @@ let to_json (diags : diagnostic list) =
       Buffer.add_string b
         (Printf.sprintf
            "\n\
-            {\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"msg\":\"%s\"}"
+            {\"rule\":\"%s\",\"severity\":\"%s\",\"pass\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"msg\":\"%s\"}"
            (json_escape d.rule)
            (severity_name d.severity)
-           (json_escape d.file) d.line d.col (json_escape d.msg)))
+           (json_escape d.pass) (json_escape d.file) d.line d.col
+           (json_escape d.msg)))
     diags;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b

@@ -26,6 +26,11 @@ type severity = Warning | Error
 type diagnostic = {
   rule : string;
   severity : severity;
+  pass : string;
+      (** which analysis produced it: ["syntactic"] (this module) or
+          ["typed"] (the cmt-based {!Racecheck} pass). Lets downstream
+          tooling merge JSON reports from both passes without guessing
+          by rule name. *)
   file : string;
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
@@ -38,6 +43,20 @@ val rules : (string * string) list
     (The implicit [parse-error] rule fires when a file does not parse.) *)
 
 val rule_names : string list
+
+val resolve_class : scope -> string -> [ `Strict | `Relaxed | `Exec ]
+(** The scope map, shared with the typed racecheck pass: classify a
+    file path under the given scope override ([Auto] grades the strict
+    libraries [`Strict], the rest of [lib] [`Relaxed], and everything
+    else — [bin], [bench], tests — [`Exec]). *)
+
+val allows_of_attrs : Parsetree.attributes -> string list
+(** Rule names suppressed by [[@lint.allow "rule1 rule2"]]-style
+    attributes, shared with the typed pass (whose suppressions use the
+    same attribute so one escape hatch serves both). *)
+
+val compare_diag : diagnostic -> diagnostic -> int
+(** Order by (file, line, col, rule) — the report order. *)
 
 val lint_string :
   ?scope:scope -> ?rules:string list -> file:string -> string -> diagnostic list

@@ -1,0 +1,64 @@
+(** Typed domain-safety analysis (data-race pass) over [.cmt] files.
+
+    The syntactic linter ({!Lint}) cannot see types, so it cannot tell
+    a shared [ref] from an [Atomic.t], or know which values a closure
+    captures. This pass reads the Typedtree that dune already produces
+    ([-bin-annot] is on by default) and checks every closure handed to
+    the parallel entry points — [Domain_pool.map],
+    [Domain_pool.find_first] and [Domain.spawn] — for mutable state
+    shared across domains:
+
+    - {b shared-mutable-capture}: the closure captures a mutable value
+      (ref, array, bytes, [Buffer.t], [Queue.t], [Stack.t], or a record
+      with mutable fields declared anywhere in the scanned tree)
+      allocated outside the worker.
+    - {b unsynchronized-hashtbl}: the captured mutable is a
+      [Hashtbl.t] — called out separately because concurrent
+      add/resize corrupts buckets rather than merely racing a cell.
+    - {b mutable-global-reached}: the closure reaches module-level
+      mutable state, either directly or through a top-level helper it
+      calls (helpers are summarized one call level deep).
+    - {b non-atomic-signal}: the closure {e writes} a captured scalar
+      ref ([int]/[bool]/[float]/[char]/[unit] ref) — the classic
+      "signal flag" that must be an [Atomic.t].
+    - {b missing-cmt} (warning): a source file under the requested
+      roots has no [.cmt] in the build directory, so it could not be
+      checked.
+
+    A root is {e safe} (not reported) when its type head is [Atomic.t],
+    [Mutex.t], [Condition.t] or a [Semaphore], when it is allocated
+    inside the worker itself, or when {e every} use inside the worker
+    sits in a recognized [Mutex] bracket ([Mutex.protect m f], or the
+    continuation of a [Mutex.lock m] sequence).
+
+    Documented approximations (see DESIGN.md for the full list): helper
+    summaries stop one level deep; abstract types are not expanded, so
+    a module hiding an array behind an opaque [t] is trusted;
+    function-typed captures are not chased; mutable state reached
+    through immutable record fields of captured values is not tracked.
+    The [[@lint.allow "rule"]] attribute ({!Lint.allows_of_attrs})
+    suppresses findings whose location falls inside the attributed
+    expression or binding — policy: every suppression carries a
+    one-line justification comment. *)
+
+val rules : (string * string) list
+(** Rule ids with one-line documentation (see above). *)
+
+val rule_names : string list
+
+val analyze :
+  ?scope:Lint.scope ->
+  ?rules:string list ->
+  ?build_dir:string ->
+  string list ->
+  Lint.diagnostic list
+(** [analyze roots] checks every [*.ml] under [roots] against the
+    [.cmt] files found under [build_dir] (default: [_build/default]
+    when it exists, else [.] — the latter is what the dune
+    [@racecheck] rule uses, since dune runs actions inside the build
+    context). Roots that point {e into} the build directory (e.g.
+    [../../lib] from a test cwd with [~build_dir:"../.."]) are rebased
+    onto it. Diagnostics carry [pass = "typed"], use the shared scope
+    map ({!Lint.resolve_class}) for severity — race rules are errors
+    in strict {e and} executable scopes, warnings in relaxed ones —
+    and are sorted by (file, line, col, rule). *)

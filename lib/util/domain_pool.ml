@@ -53,7 +53,10 @@ let map ?(jobs = 1) ?chunk n f =
     let out = Array.make n None in
     let next = Atomic.make 0 in
     let failed = Atomic.make (None : exn_site option) in
-    let worker () =
+    (* racecheck: workers share [out], but the Atomic [next] hands each
+       index to exactly one claimant, so writes to out.(i) are disjoint
+       and happen-before the joins that read them. *)
+    let[@lint.allow "shared-mutable-capture"] worker () =
       let continue = ref true in
       while !continue do
         let start = Atomic.fetch_and_add next chunk in
@@ -109,7 +112,10 @@ let find_first ?(jobs = 1) ?chunk n f =
       go ()
     in
     let next = Atomic.make 0 in
-    let worker () =
+    (* racecheck: workers share [found], but the Atomic [next] hands
+       each index to exactly one claimant, so writes to found.(i) are
+       disjoint and happen-before the join that reads found.(b). *)
+    let[@lint.allow "shared-mutable-capture"] worker () =
       let continue = ref true in
       while !continue do
         let start = Atomic.fetch_and_add next chunk in

@@ -1,0 +1,5 @@
+(* fixture: top-level synchronization primitives are exactly the
+   remedy global-mutable prescribes — none of these may be flagged *)
+let hits = Atomic.make 0
+let lock = Mutex.create ()
+let wake = Condition.create ()

@@ -25,7 +25,9 @@ let fixtures () =
     ]
     (summarize diags);
   Alcotest.(check bool) "all errors under strict scope" true
-    (List.for_all (fun d -> d.Lint.severity = Lint.Error) diags)
+    (List.for_all (fun d -> d.Lint.severity = Lint.Error) diags);
+  Alcotest.(check bool) "every diagnostic is from the syntactic pass" true
+    (List.for_all (fun d -> d.Lint.pass = "syntactic") diags)
 
 let json_snapshot () =
   let diags = Lint.lint_paths ~scope:Lint.Strict [ "lint_fixtures" ] in
@@ -91,6 +93,22 @@ let scope_map () =
     (List.length
        (Lint.lint_string ~file:"lib/util/choice.ml" "let x () = Random.bits ()"))
 
+(* Top-level synchronization primitives are exactly the remedy
+   global-mutable prescribes, so creating one must not be flagged —
+   while a bare ref at top level still is. The lint_fixtures run in
+   [fixtures] covers the same thing end-to-end via
+   global_atomic_ok.ml, which contributes zero diagnostics there. *)
+let global_safe_ctors () =
+  let lint src = Lint.lint_string ~scope:Lint.Strict ~file:"lib/core/x.ml" src in
+  Alcotest.(check int) "Atomic.make at top level is safe" 0
+    (List.length (lint "let hits = Atomic.make 0"));
+  Alcotest.(check int) "Mutex.create at top level is safe" 0
+    (List.length (lint "let lock = Mutex.create ()"));
+  Alcotest.(check int) "Condition.create at top level is safe" 0
+    (List.length (lint "let wake = Condition.create ()"));
+  Alcotest.(check int) "a bare ref at top level is still flagged" 1
+    (List.length (lint "let n = ref 0"))
+
 let hashtbl_sorted_ok () =
   Alcotest.(check int) "fold followed by a sort in the same binding is fine" 0
     (List.length
@@ -143,6 +161,7 @@ let () =
           t "suppressions" `Quick suppression;
           t "strict regression is an error" `Quick strict_regression;
           t "scope map" `Quick scope_map;
+          t "safe top-level constructors" `Quick global_safe_ctors;
           t "sorted fold is clean" `Quick hashtbl_sorted_ok;
           t "mli presence" `Quick mli_presence;
           t "self-clean tree" `Quick self_clean;

@@ -1,0 +1,7 @@
+(* Clean: the shared counter is an Atomic.t. *)
+let count_even n =
+  let hits = Atomic.make 0 in
+  let _ =
+    Domain_pool.map ~jobs:2 n (fun i -> if i mod 2 = 0 then Atomic.incr hits)
+  in
+  Atomic.get hits

@@ -1,0 +1,7 @@
+(* Deliberately racy: module-level mutable state reached by workers. *)
+let calls = ref 0
+
+let work n =
+  Domain_pool.map ~jobs:2 n (fun i ->
+      calls := !calls + 1;
+      i * i)

@@ -1,0 +1,5 @@
+(* Deliberately racy: concurrent Hashtbl.replace from every worker. *)
+let histogram n =
+  let h = Hashtbl.create 16 in
+  let _ = Domain_pool.map ~jobs:2 n (fun i -> Hashtbl.replace h (i mod 8) i) in
+  Hashtbl.length h

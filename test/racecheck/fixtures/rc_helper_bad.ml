@@ -1,0 +1,11 @@
+(* Deliberately racy: the worker itself looks clean, but the top-level
+   helper it calls writes a module-level Hashtbl — caught by the
+   one-level interprocedural summary. *)
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let note i = Hashtbl.replace table i i
+
+let run n =
+  Domain_pool.map ~jobs:2 n (fun i ->
+      note i;
+      i)

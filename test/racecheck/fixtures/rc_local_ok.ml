@@ -1,0 +1,7 @@
+(* Clean: the Buffer is allocated inside the worker, so each domain
+   owns its own. *)
+let squares n =
+  Domain_pool.map ~jobs:2 n (fun i ->
+      let buf = Buffer.create 8 in
+      Buffer.add_string buf (string_of_int (i * i));
+      Buffer.contents buf)

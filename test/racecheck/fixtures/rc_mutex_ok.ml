@@ -1,0 +1,10 @@
+(* Clean: every use of the shared ref sits inside a Mutex.protect
+   bracket. *)
+let collect n =
+  let acc = ref [] in
+  let m = Mutex.create () in
+  let _ =
+    Domain_pool.map ~jobs:2 n (fun i ->
+        Mutex.protect m (fun () -> acc := i :: !acc))
+  in
+  List.rev !acc

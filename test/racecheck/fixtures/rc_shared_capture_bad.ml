@@ -1,0 +1,5 @@
+(* Deliberately racy: every worker pushes onto the same list ref. *)
+let collect n =
+  let acc = ref [] in
+  let _ = Domain_pool.map ~jobs:2 n (fun i -> acc := i :: !acc) in
+  List.length !acc

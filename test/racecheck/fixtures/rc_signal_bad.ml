@@ -1,0 +1,7 @@
+(* Deliberately racy: a plain bool ref used as a cross-domain flag. *)
+let any_even n =
+  let hit = ref false in
+  let _ =
+    Domain_pool.map ~jobs:2 n (fun i -> if i mod 2 = 0 then hit := true)
+  in
+  !hit

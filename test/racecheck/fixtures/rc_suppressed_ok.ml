@@ -1,0 +1,9 @@
+(* The same race as rc_signal_bad, but suppressed on the binding.
+   racecheck: fixture exercising the escape hatch — the race is real
+   but deliberate here, and the justification-comment policy is what
+   this file demonstrates. *)
+let sum n =
+  let total = ref 0 in
+  let[@lint.allow "non-atomic-signal"] add i = total := !total + i in
+  let _ = Domain_pool.map ~jobs:2 n add in
+  !total

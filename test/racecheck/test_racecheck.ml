@@ -1,0 +1,126 @@
+(* The typed domain-safety pass's own test suite, mirroring test/lint:
+   compiled fixtures each trigger exactly one rule (plus one
+   suppressed), the JSON report matches the checked-in snapshot, and
+   the real tree comes out clean. The test's cwd is
+   _build/default/test/racecheck, so the build-context root — where
+   every .cmt lives and where cmt-recorded source paths are rooted —
+   is ../.. *)
+
+let t = Alcotest.test_case
+let build_dir = "../.."
+let fixture_root = "../../test/racecheck/fixtures"
+
+let summarize diags =
+  List.map (fun d -> (d.Lint.file, d.Lint.line, d.Lint.rule)) diags
+
+let triple = Alcotest.(list (triple string int string))
+
+let analyze_fixtures ?rules () =
+  Racecheck.analyze ?rules ~build_dir [ fixture_root ]
+
+(* One diagnostic per bad fixture, none for the _ok ones (worker-local
+   allocation, Atomic.t, Mutex bracket, suppression). The
+   rc_shared_capture_bad entry is the acceptance case: a shared ref
+   captured by a Domain_pool.map closure, pinned to file and line. *)
+let fixtures () =
+  let diags = analyze_fixtures () in
+  Alcotest.check triple "one diagnostic per bad fixture"
+    [
+      ("test/racecheck/fixtures/rc_global_bad.ml", 6, "mutable-global-reached");
+      ("test/racecheck/fixtures/rc_hashtbl_bad.ml", 4, "unsynchronized-hashtbl");
+      ("test/racecheck/fixtures/rc_helper_bad.ml", 10, "mutable-global-reached");
+      ( "test/racecheck/fixtures/rc_shared_capture_bad.ml",
+        4,
+        "shared-mutable-capture" );
+      ("test/racecheck/fixtures/rc_signal_bad.ml", 5, "non-atomic-signal");
+    ]
+    (summarize diags);
+  Alcotest.(check bool) "fixtures are exec scope: still errors" true
+    (List.for_all (fun d -> d.Lint.severity = Lint.Error) diags);
+  Alcotest.(check bool) "every diagnostic is from the typed pass" true
+    (List.for_all (fun d -> d.Lint.pass = "typed") diags)
+
+let rule_subset () =
+  let diags = analyze_fixtures ~rules:[ "non-atomic-signal" ] () in
+  Alcotest.check triple "rule filter keeps only the signal fixture"
+    [ ("test/racecheck/fixtures/rc_signal_bad.ml", 5, "non-atomic-signal") ]
+    (summarize diags)
+
+(* rc_suppressed_ok.ml contains the same race as rc_signal_bad.ml but
+   carries [@lint.allow "non-atomic-signal"] on the binding — it must
+   not appear in the fixture report above. A wrong rule name in the
+   attribute must NOT suppress; that case lives here as a negative
+   control against the unsuppressed signal fixture. *)
+let suppression () =
+  let diags = analyze_fixtures () in
+  Alcotest.(check bool) "suppressed fixture is absent" true
+    (List.for_all
+       (fun d ->
+         not
+           (String.ends_with ~suffix:"rc_suppressed_ok.ml" d.Lint.file))
+       diags);
+  (* the signal fixture has no allow attribute: same race, reported *)
+  Alcotest.(check bool) "unsuppressed twin is present" true
+    (List.exists
+       (fun d -> String.ends_with ~suffix:"rc_signal_bad.ml" d.Lint.file)
+       diags)
+
+let json_snapshot () =
+  let diags = analyze_fixtures () in
+  let expected =
+    In_channel.with_open_bin "fixtures/expected.json" In_channel.input_all
+  in
+  Alcotest.(check string)
+    "json report matches the checked-in snapshot" (String.trim expected)
+    (String.trim (Lint.to_json diags))
+
+(* Severity follows the shared scope map, except that race rules stay
+   errors in executable scope (bench farms real work): only the
+   relaxed libraries downgrade to warnings. *)
+let scope_severity () =
+  let errors scope =
+    Racecheck.analyze ~scope ~build_dir [ fixture_root ] |> Lint.has_errors
+  in
+  Alcotest.(check bool) "strict scope: errors" true (errors Lint.Strict);
+  Alcotest.(check bool) "exec scope: still errors" true (errors Lint.Exec);
+  Alcotest.(check bool) "relaxed scope: warnings only" false
+    (errors Lint.Relaxed)
+
+(* A source with no .cmt yields a missing-cmt warning rather than
+   silently passing. Point the analysis at an on-disk source tree the
+   build dir knows nothing about. *)
+let missing_cmt () =
+  let dir = "no_cmt_fix" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Out_channel.with_open_bin (Filename.concat dir "orphan.ml") (fun oc ->
+      Out_channel.output_string oc "let x = 1\n");
+  let diags = Racecheck.analyze ~build_dir:dir [ dir ] in
+  Alcotest.check triple "orphan source is flagged"
+    [ ("no_cmt_fix/orphan.ml", 1, "missing-cmt") ]
+    (summarize diags);
+  Alcotest.(check bool) "as a warning, not an error" false
+    (Lint.has_errors diags)
+
+(* The real tree produces zero diagnostics — the same gate `dune build
+   @racecheck` enforces, checked here from the library API so a
+   regression names the offending file in the alcotest failure. *)
+let self_clean () =
+  let diags =
+    Racecheck.analyze ~build_dir [ "../../lib"; "../../bin"; "../../bench" ]
+  in
+  Alcotest.check triple "tree is race-clean" [] (summarize diags)
+
+let () =
+  Alcotest.run "racecheck"
+    [
+      ( "racecheck",
+        [
+          t "fixtures: one rule per file" `Quick fixtures;
+          t "rule subset filter" `Quick rule_subset;
+          t "suppression" `Quick suppression;
+          t "fixtures: json snapshot" `Quick json_snapshot;
+          t "scope severity" `Quick scope_severity;
+          t "missing cmt is a warning" `Quick missing_cmt;
+          t "self-clean tree" `Quick self_clean;
+        ] );
+    ]
