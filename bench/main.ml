@@ -232,7 +232,8 @@ let rec run_scaling () =
         (arg_string "--out"));
   run_checker_scaling ~quota_ms ~smoke ~label ();
   run_explore_scaling ~smoke ~label ();
-  run_faults_scaling ~smoke ~label ()
+  run_faults_scaling ~smoke ~label ();
+  run_throughput_scaling ~quota_ms ~smoke ~label ()
 
 (* The checker counterpart (see checker_scaling.ml): same flags, its
    own output file via --checker-out. In JSON mode nothing is printed
@@ -305,6 +306,33 @@ and run_faults_scaling ~smoke ~label () =
               Out_channel.output_string oc
                 (Faults_scaling.json_trajectory ~label results)))
         (arg_string "--faults-out")
+
+(* The heavy-traffic counterpart (see throughput_scaling.ml): msgs/sec
+   with engine modes off vs batching+pipelining+sharding, on the shared
+   quota and --jobs pool. Its own output file via --throughput-out. *)
+and run_throughput_scaling ~quota_ms ~smoke ~label () =
+  let results = Throughput_scaling.run_all ~quota_ms ~jobs ~smoke in
+  match arg_string "--format" with
+  | Some "json" -> (
+      let json =
+        Throughput_scaling.json_trajectory ~label ~quota_ms ~jobs results
+      in
+      match arg_string "--throughput-out" with
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc json);
+          Printf.printf "throughput suite written to %s (%d cases)\n" path
+            (List.length results)
+      | None -> print_string json)
+  | _ ->
+      Throughput_scaling.print_text results;
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc
+                (Throughput_scaling.json_trajectory ~label ~quota_ms ~jobs
+                   results)))
+        (arg_string "--throughput-out")
 
 let () =
   let skip_bench = has_flag "--no-bench" in

@@ -17,7 +17,12 @@
    verdict); "faults-scaling" cases carry name/drop/sent/delivered/
    retransmissions/lost/overhead and a verdicts_equal flag that must be
    true (stubborn links must not change any specification verdict
-   relative to the fault-free baseline).
+   relative to the fault-free baseline); "throughput-scaling" cases
+   carry name/msgs/shards/off_msgs_per_sec/on_msgs_per_sec/speedup,
+   monotone p50/p99/max latency grids per engine mode, on_rounds <=
+   off_rounds (batching only amortizes) and a verdicts_equal flag that
+   must be true (the heavy-traffic engine modes must not change a
+   core-spec verdict).
    Exits non-zero with a message naming the file and the offending path
    on any mismatch.
 
@@ -259,6 +264,51 @@ let check_faults_case path c =
   if not (as_bool (path ^ ".verdicts_equal") (field path c "verdicts_equal"))
   then schema_fail path "verdicts_equal must be true"
 
+let check_throughput_case path c =
+  let name = as_string (path ^ ".name") (field path c "name") in
+  let path = Printf.sprintf "%s(%s)" path name in
+  let num k = as_num (path ^ "." ^ k) (field path c k) in
+  if num "msgs" <= 0. then schema_fail path "msgs must be > 0";
+  if num "shards" < 1. then schema_fail path "shards must be >= 1";
+  if num "off_msgs_per_sec" <= 0. then
+    schema_fail path "off_msgs_per_sec must be > 0";
+  if num "on_msgs_per_sec" <= 0. then
+    schema_fail path "on_msgs_per_sec must be > 0";
+  if num "speedup" <= 0. then schema_fail path "speedup must be > 0";
+  if num "delivered" < 0. then schema_fail path "delivered must be >= 0";
+  if num "delivered" > num "msgs" then
+    schema_fail path "delivered must be <= msgs";
+  (* Throughput is simulated-time (one tick = one simulated ms), so the
+     makespans are exact: positive, and never longer batched — the
+     batched engine drains a superset of the scalar engine's enabled
+     actions each tick. *)
+  if num "off_span_ticks" <= 0. then
+    schema_fail path "off_span_ticks must be > 0";
+  if num "on_span_ticks" <= 0. then
+    schema_fail path "on_span_ticks must be > 0";
+  if num "on_span_ticks" > num "off_span_ticks" then
+    schema_fail path "on_span_ticks must be <= off_span_ticks";
+  (* Latency grids are tick-deterministic, so monotonicity is exact:
+     p50 <= p99 <= max in both engine modes. *)
+  List.iter
+    (fun mode ->
+      let p50 = num (mode ^ "_p50")
+      and p99 = num (mode ^ "_p99")
+      and mx = num (mode ^ "_max") in
+      if p50 < 0. then schema_fail path (mode ^ "_p50 must be >= 0");
+      if p50 > p99 || p99 > mx then
+        schema_fail path (mode ^ " percentiles must be monotone"))
+    [ "off"; "on" ];
+  (* Batching may only amortize: a round covers at least one proposal,
+     so the batched run never takes more rounds than the scalar one. *)
+  if num "on_rounds" > num "off_rounds" then
+    schema_fail path "on_rounds must be <= off_rounds";
+  (* Verdict identity across engine modes is part of the schema: a
+     trajectory recording that batching/pipelining/sharding changed a
+     core-spec verdict is invalid, full stop. *)
+  if not (as_bool (path ^ ".verdicts_equal") (field path c "verdicts_equal"))
+  then schema_fail path "verdicts_equal must be true"
+
 let check_entry check_case i e =
   let path = Printf.sprintf "entries[%d]" i in
   let label = as_string (path ^ ".label") (field path e "label") in
@@ -278,6 +328,7 @@ let check_trajectory j =
     | "checker-scaling" -> check_checker_case
     | "explore-scaling" -> check_explore_case
     | "faults-scaling" -> check_faults_case
+    | "throughput-scaling" -> check_throughput_case
     | _ -> schema_fail "suite" ("unknown suite " ^ suite)
   in
   let entries = as_arr "entries" (field "top" j "entries") in

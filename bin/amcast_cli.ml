@@ -561,6 +561,122 @@ let explore_cmd =
        $ no_cache_arg $ claims_arg $ json_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
+(* bench-throughput                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rate_arg =
+  Arg.(
+    value
+    & opt (int_at_least 1 "--rate") 200
+    & info [ "rate" ] ~docv:"PCT"
+        ~doc:
+          "Open-loop arrival rate: $(docv) / 100 multicasts per tick on \
+           average (at least 1).")
+
+let skew_arg =
+  Arg.(
+    value
+    & opt (int_at_least 0 "--skew") 0
+    & info [ "skew" ] ~docv:"PCT"
+        ~doc:
+          "Zipf destination skew: group of rank i has weight 1/(i+1)^s \
+           with s = $(docv) / 100. 0 is uniform.")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt (int_at_least 1 "--duration") 12
+    & info [ "duration" ] ~docv:"TICKS"
+        ~doc:"Arrival window in ticks (at least 1).")
+
+let batch_arg =
+  Arg.(
+    value & flag
+    & info [ "batch" ]
+        ~doc:
+          "Batched stepper: drain every enabled action to a fixpoint \
+           within the tick, deciding concurrent pending messages in one \
+           consensus round per group.")
+
+let pipeline_arg =
+  Arg.(
+    value & flag
+    & info [ "pipeline" ]
+        ~doc:
+          "Pipelined consensus: a process sends its next message as soon \
+           as the previous one is in the group log, without waiting for \
+           its delivery.")
+
+let bench_throughput topo crashes seed rate skew duration batch pipeline jobs =
+  let n = Topology.n topo in
+  let fp = Failure_pattern.of_crashes ~n crashes in
+  let rng = Rng.make seed in
+  let workload =
+    Loadgen.open_loop ~rng ~rate_pct:rate ~skew_pct:skew ~duration topo
+  in
+  let shards = Shard.plan ~topo ~fp workload in
+  let outcomes =
+    Array.to_list
+      (Shard.run ~jobs ~seed ~batching:batch ~pipelining:pipeline shards)
+  in
+  let samples = List.concat_map Latency.samples outcomes in
+  let delivered = List.length samples in
+  let span = Latency.span outcomes in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  Format.printf "shards=%d invoked=%d delivered=%d instances=%d rounds=%d@."
+    (List.length shards) (List.length workload) delivered
+    (sum (fun o -> o.Runner.consensus_instances))
+    (sum (fun o -> o.Runner.consensus_rounds));
+  Format.printf "makespan: %d simulated ticks (1 tick = 1 ms)@." span;
+  if span > 0 then
+    Format.printf "throughput: %.1f msgs/sec (simulated)@."
+      (1000. *. float_of_int delivered /. float_of_int span);
+  let pct q =
+    match Latency.percentile samples q with
+    | Some v -> string_of_int v
+    | None -> "-"
+  in
+  Format.printf "latency ticks: p50=%s p99=%s max=%s@." (pct 50) (pct 99)
+    (pct 100);
+  let violated =
+    List.exists
+      (fun o -> Result.is_error (Properties.check_core o))
+      outcomes
+  in
+  if violated then begin
+    Format.printf "core specification VIOLATED@.";
+    Ok exit_violation
+  end
+  else Ok 0
+
+let bench_throughput_cmd =
+  let doc =
+    "Measure simulated-time multicast throughput under generated traffic."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates open-loop traffic from the seed, shards the scenario \
+         along independent group families, runs it on a domain pool, and \
+         reports delivered messages per simulated second (one tick = one \
+         simulated millisecond) with latency percentiles. All numbers \
+         are deterministic in the seed and identical for every \
+         $(b,--jobs) value. Compare $(b,--batch --pipeline) against the \
+         default scalar stepper to see the heavy-traffic engine's \
+         amortization; $(b,bench/throughput_scaling.ml) sweeps the \
+         committed grid.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "bench-throughput" ~doc ~man ~exits:violation_exits)
+    Term.(
+      term_result
+        (const bench_throughput $ topology_arg $ crashes_arg $ seed_arg
+       $ rate_arg $ skew_arg $ duration_arg $ batch_arg $ pipeline_arg
+       $ jobs_arg))
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -594,6 +710,14 @@ let experiment_cmd =
 let main_cmd =
   let doc = "genuine atomic multicast and its weakest failure detector" in
   let info = Cmd.info "amcast_cli" ~version:"1.0.0" ~doc ~exits:violation_exits in
-  Cmd.group info [ analyze_cmd; run_cmd; fuzz_cmd; explore_cmd; experiment_cmd ]
+  Cmd.group info
+    [
+      analyze_cmd;
+      run_cmd;
+      fuzz_cmd;
+      explore_cmd;
+      bench_throughput_cmd;
+      experiment_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

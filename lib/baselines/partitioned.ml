@@ -80,5 +80,6 @@ let run ?(seed = 1) ?horizon ~topo ~fp ~workload () =
     snapshots = [];
     final_logs = [];
     consensus_instances = 0;
+    consensus_rounds = 0;
     links = Channel_fault.stats_zero;
   }

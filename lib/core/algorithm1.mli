@@ -38,6 +38,8 @@ type t
 val create :
   ?variant:variant ->
   ?enablement_cache:bool ->
+  ?batching:bool ->
+  ?pipelining:bool ->
   ?faults:Channel_fault.spec ->
   ?fault_seed:int ->
   topo:Topology.t ->
@@ -46,6 +48,21 @@ val create :
   unit ->
   t
 (** Workload message ids must be [0 .. K-1].
+
+    [batching] (default [false]) turns on the heavy-traffic drain
+    stepper: a [step] executes {e every} enabled action of the process
+    (cascade passes to a fixpoint) instead of the first one, and
+    commits whole per-group rounds — every γ-ready Pending message of
+    a group decides one shared log position in a single consensus
+    round, the a-priori {!compare_datum} ordering the batch (the
+    Multi-Paxos batching trade). [pipelining] (default [false]) relaxes
+    the [A.multicast] gate: a listed message is appended to [LOG_g]
+    once its predecessors in [L_g] are merely {e sent} (in [LOG_g])
+    rather than locally delivered, so consensus on slot k+1 overlaps
+    the delivery of slot k. Both modes preserve the vanilla
+    atomic-multicast spec (checked by [Properties.core]); pipelining
+    gives up the per-message §4.1 group-sequentiality of the reduction
+    — see DESIGN.md "Batching, pipelining & group sharding".
 
     [faults] (default {!Channel_fault.none}) injects channel faults
     into the one genuine inter-process communication of the Prop. 1
@@ -66,7 +83,8 @@ val create :
     (used by the trace-identity tests). *)
 
 val step : t -> pid:int -> time:int -> bool
-(** Execute at most one enabled action of process [pid]; returns
+(** Execute at most one enabled action of process [pid] (with
+    [batching], every enabled action, drained to a fixpoint); returns
     whether one was executed. Feed this to [Engine.run]. *)
 
 val enabled : t -> pid:int -> time:int -> bool
@@ -89,6 +107,13 @@ val log_snapshot : t -> (Topology.gid * Topology.gid) -> (datum * int * bool) li
 
 val consensus_instances : t -> int
 (** Number of [CONS_{m,f}] instances actually decided. *)
+
+val consensus_rounds : t -> int
+(** Number of commit rounds run so far — the consensus invocations a
+    networked backend would make. Without batching this equals the
+    number of proposals issued; with batching a whole per-group round
+    of messages counts once, so [rounds / instances] measures the
+    amortization. *)
 
 val listed : t -> m:int -> bool
 (** Whether the Prop. 1 [multicast] of message [m] has been invoked
@@ -133,3 +158,4 @@ val visibility : t -> pid:int -> m:int -> time:int -> [ `Visible | `Pending of i
     [`Pending d] means the copy arrives in [d] more ticks, [`Lost]
     that it never will. Part of the state the explorer fingerprints
     when faults are active. *)
+

@@ -11,6 +11,7 @@ type outcome = {
   snapshots : (int * snapshot) list;
   final_logs : snapshot;
   consensus_instances : int;
+  consensus_rounds : int;
   links : Channel_fault.stats;
 }
 
@@ -23,8 +24,9 @@ let snapshot_of st =
   List.map (fun key -> (key, Algorithm1.log_snapshot st key)) (Algorithm1.log_keys st)
 
 let run ?(variant = Algorithm1.Vanilla) ?(seed = 1) ?horizon ?mu ?scheduled
-    ?enablement_cache ?(faults = Channel_fault.none) ?(record_snapshots = false)
-    ~topo ~fp ~workload () =
+    ?enablement_cache ?batching ?pipelining ?driver
+    ?(faults = Channel_fault.none) ?(record_snapshots = false) ~topo ~fp
+    ~workload () =
   let mu = match mu with Some m -> m | None -> Mu.make ~seed topo fp in
   let horizon =
     match horizon with
@@ -38,11 +40,14 @@ let run ?(variant = Algorithm1.Vanilla) ?(seed = 1) ?horizon ?mu ?scheduled
         + ((List.length workload + 1) * Channel_fault.latency_bound faults)
   in
   let st =
-    Algorithm1.create ~variant ?enablement_cache ~faults ~fault_seed:seed ~topo
-      ~mu ~workload ()
+    Algorithm1.create ~variant ?enablement_cache ?batching ?pipelining ~faults
+      ~fault_seed:seed ~topo ~mu ~workload ()
   in
   let snapshots = ref [] in
-  let on_tick t = if record_snapshots then snapshots := (t, snapshot_of st) :: !snapshots in
+  let on_tick t =
+    (match driver with Some d -> d st ~time:t | None -> ());
+    if record_snapshots then snapshots := (t, snapshot_of st) :: !snapshots
+  in
   let max_at = List.fold_left (fun acc r -> max acc r.Workload.at) 0 workload in
   (* With a custom schedule the engine cannot distinguish "nothing
      enabled" from "the enabled process is not being scheduled right
@@ -70,6 +75,7 @@ let run ?(variant = Algorithm1.Vanilla) ?(seed = 1) ?horizon ?mu ?scheduled
     snapshots = List.rev !snapshots;
     final_logs = snapshot_of st;
     consensus_instances = Algorithm1.consensus_instances st;
+    consensus_rounds = Algorithm1.consensus_rounds st;
     links = Algorithm1.link_stats st;
   }
 

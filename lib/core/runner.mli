@@ -18,6 +18,10 @@ type outcome = {
   snapshots : (int * snapshot) list;  (** per tick, oldest first (if requested) *)
   final_logs : snapshot;
   consensus_instances : int;
+  consensus_rounds : int;
+      (** commit rounds run — networked consensus invocations; equals
+          the proposal count without batching, fewer with it (see
+          {!Algorithm1.consensus_rounds}) *)
   links : Channel_fault.stats;
       (** fate of every announcement copy under the run's channel-fault
           spec ({!Channel_fault.stats_zero} for fault-free runs) *)
@@ -34,6 +38,9 @@ val run :
   ?mu:Mu.t ->
   ?scheduled:(int -> Pset.t) ->
   ?enablement_cache:bool ->
+  ?batching:bool ->
+  ?pipelining:bool ->
+  ?driver:(Algorithm1.t -> time:int -> unit) ->
   ?faults:Channel_fault.spec ->
   ?record_snapshots:bool ->
   topo:Topology.t ->
@@ -47,6 +54,15 @@ val run :
     at each tick (P-fair runs of §6.2). [enablement_cache] (default
     [true]) is forwarded to {!Algorithm1.create}; [false] runs the
     reference stepper, which produces the same trace, slower.
+
+    [batching] and [pipelining] (both default [false]) are forwarded to
+    {!Algorithm1.create} — the heavy-traffic stepper modes of DESIGN.md
+    "Batching, pipelining & group sharding".
+
+    [driver], if given, runs at the start of every engine tick with the
+    live protocol state — the hook closed-loop load generators use to
+    {!Algorithm1.release} the next request of a client chain once its
+    predecessor is delivered (see [Amcast_loadgen.closed_loop]).
 
     [faults] (default {!Channel_fault.none}) is forwarded to
     {!Algorithm1.create} with the run's [seed] as fault seed; the

@@ -40,6 +40,7 @@ type index = {
   first_del_seq : int array;  (* mb: seq of the earliest delivery *)
   first_del_present : Bytes.t;
   inv_seq : int array;  (* mb: seq of the first Invoke *)
+  inv_time : int array;  (* mb: tick of the first Invoke *)
   inv_present : Bytes.t;
   snd_seq : int array;  (* mb: seq of the first Send *)
   snd_present : Bytes.t;
@@ -71,6 +72,7 @@ let build t =
   let first_del_seq = Array.make mb 0 in
   let first_del_present = Bytes.make mb '\000' in
   let inv_seq = Array.make mb 0 in
+  let inv_time = Array.make mb 0 in
   let inv_present = Bytes.make mb '\000' in
   let snd_seq = Array.make mb 0 in
   let snd_present = Bytes.make mb '\000' in
@@ -81,9 +83,10 @@ let build t =
   List.iter
     (fun ev ->
       match ev with
-      | Invoke { m; seq; _ } ->
+      | Invoke { m; time; seq; _ } ->
           if Bytes.get inv_present m = '\000' then begin
             inv_seq.(m) <- seq;
+            inv_time.(m) <- time;
             Bytes.set inv_present m '\001'
           end;
           invoked := m :: !invoked
@@ -121,6 +124,7 @@ let build t =
     first_del_seq;
     first_del_present;
     inv_seq;
+    inv_time;
     inv_present;
     snd_seq;
     snd_present;
@@ -175,6 +179,11 @@ let invoke_seq t ~m =
   let ix = index t in
   if m < 0 || m >= ix.mb || Bytes.get ix.inv_present m = '\000' then None
   else Some ix.inv_seq.(m)
+
+let invoke_time t ~m =
+  let ix = index t in
+  if m < 0 || m >= ix.mb || Bytes.get ix.inv_present m = '\000' then None
+  else Some ix.inv_time.(m)
 
 let send_seq t ~m =
   let ix = index t in

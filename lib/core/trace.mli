@@ -57,6 +57,11 @@ val first_delivery_seq : t -> m:int -> int option
 (** Sequence number of the earliest delivery of [m] system-wide. *)
 
 val invoke_seq : t -> m:int -> int option
+
+val invoke_time : t -> m:int -> int option
+(** Tick of the first [Invoke] of [m], if any — the start of the
+    message's latency interval (see [Amcast_loadgen.Latency]). *)
+
 val send_seq : t -> m:int -> int option
 val invoked : t -> int list
 (** Ids of messages whose [multicast] was invoked, in order. *)

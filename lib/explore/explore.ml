@@ -201,6 +201,7 @@ let outcome_of ctx st (stats : Engine.stats) ~snapshots =
     snapshots;
     final_logs = snapshot_of st;
     consensus_instances = Algorithm1.consensus_instances st;
+    consensus_rounds = Algorithm1.consensus_rounds st;
     links = Algorithm1.link_stats st;
   }
 

@@ -50,11 +50,13 @@ let rule_names = List.map fst rules
    [experiments] is strict because `Experiments.all ?jobs` farms its
    sections across Domain_pool and promises a canonical report;
    [racecheck] because an analyzer that diverges across runs would make
-   the @racecheck gate flaky. *)
+   the @racecheck gate flaky; [loadgen] because generated workloads,
+   shard plans and latency accounting feed the committed throughput
+   benchmark and its jobs-identity contract. *)
 let strict_libs =
   [
     "sim"; "core"; "fuzz"; "net"; "objects"; "substrate"; "util"; "lint";
-    "explore"; "experiments"; "racecheck";
+    "explore"; "experiments"; "racecheck"; "loadgen";
   ]
 
 let segments file =

@@ -3,15 +3,18 @@ type 'a entry = { mutable position : int; mutable is_locked : bool }
 (* The log keeps, besides the position table, an incrementally
    maintained sorted index:
 
-   - [rev_index] lists every datum in DESCENDING log order [>_L]. An
-     [append] conses in O(1) (the fresh datum sits at [max_pos + 1],
-     strictly above everything else); a position-raising
-     [bump_and_lock] removes the datum and reinserts it further up
-     (O(|log|), and bumps are much rarer than reads).
-   - [sorted] caches the ascending view returned by [entries]; it is
-     rebuilt lazily — one [List.rev] of [rev_index] — after a mutation
-     invalidated it, so between mutations [entries] is O(1) and incurs
-     no allocation.
+   - [rev_index] lists every datum with its entry record in DESCENDING
+     log order [>_L]. An [append] conses in O(1) (the fresh datum sits
+     at [max_pos + 1], strictly above everything else); a
+     position-raising [bump_and_lock] removes the datum and reinserts
+     it further up (O(|log|), and bumps are much rarer than reads).
+     Carrying the entry record in the index is what keeps prefix walks
+     allocation- and hash-lookup-free: guards compare [position] fields
+     directly instead of re-resolving each datum through [table].
+   - [sorted] caches the ascending view; it is rebuilt lazily — one
+     [List.rev] of [rev_index] — after a mutation invalidated it, so
+     between mutations the walks are O(visited) and incur no
+     allocation.
 
    The index relies on [compare] being the a-priori *total* order of
    the specification: distinct data never compare equal (the tie-break
@@ -20,8 +23,8 @@ type 'a t = {
   compare : 'a -> 'a -> int;
   table : ('a, 'a entry) Hashtbl.t;
   mutable max_pos : int;
-  mutable rev_index : 'a list;
-  mutable sorted : 'a list;
+  mutable rev_index : ('a * 'a entry) list;
+  mutable sorted : ('a * 'a entry) list;
   mutable sorted_valid : bool;
 }
 
@@ -47,9 +50,10 @@ let append log d =
   | Some e -> e.position
   | None ->
       let p = head log in
-      Hashtbl.replace log.table d { position = p; is_locked = false };
+      let e = { position = p; is_locked = false } in
+      Hashtbl.replace log.table d e;
       log.max_pos <- p;
-      log.rev_index <- d :: log.rev_index;
+      log.rev_index <- (d, e) :: log.rev_index;
       log.sorted_valid <- false;
       p
 
@@ -63,16 +67,15 @@ let locked log d =
 let above log e' d' ~position ~datum =
   e'.position > position || (e'.position = position && log.compare d' datum > 0)
 
-let reposition log d position =
+let reposition log d e position =
   let without =
-    List.filter (fun d' -> log.compare d' d <> 0) log.rev_index
+    List.filter (fun (d', _) -> log.compare d' d <> 0) log.rev_index
   in
   let rec insert = function
-    | [] -> [ d ]
-    | d' :: rest as l ->
-        let e' = Hashtbl.find log.table d' in
-        if above log e' d' ~position ~datum:d then d' :: insert rest
-        else d :: l
+    | [] -> [ (d, e) ]
+    | ((d', e') :: rest) as l ->
+        if above log e' d' ~position ~datum:d then (d', e') :: insert rest
+        else (d, e) :: l
   in
   log.rev_index <- insert without;
   log.sorted_valid <- false
@@ -85,7 +88,7 @@ let bump_and_lock log d k =
         if k > e.position then begin
           e.position <- k;
           log.max_pos <- max log.max_pos k;
-          reposition log d k
+          reposition log d e k
         end;
         e.is_locked <- true
       end
@@ -95,12 +98,14 @@ let lt log d d' =
   e.position < e'.position
   || (e.position = e'.position && log.compare d d' < 0)
 
-let entries log =
+let sorted_index log =
   if not log.sorted_valid then begin
     log.sorted <- List.rev log.rev_index;
     log.sorted_valid <- true
   end;
   log.sorted
+
+let entries log = List.map fst (sorted_index log)
 
 (* Strict predecessors are a prefix of the ascending index: walk it and
    stop at the first datum not below [d] — O(predecessors), not
@@ -112,23 +117,54 @@ let fold_before_exn name log d f init =
       let position = e.position in
       let rec go acc = function
         | [] -> acc
-        | d' :: rest ->
-            let e' = Hashtbl.find log.table d' in
+        | (d', e') :: rest ->
             if
               e'.position < position
               || (e'.position = position && log.compare d' d < 0)
             then go (f acc d') rest
             else acc
       in
-      go init (entries log)
+      go init (sorted_index log)
 
 let fold_before log d f init = fold_before_exn "Log.fold_before" log d f init
+
+let forall_before log d check =
+  match Hashtbl.find_opt log.table d with
+  | None -> invalid_arg "Log.forall_before: datum not in the log"
+  | Some e ->
+      let position = e.position in
+      let rec go = function
+        | [] -> true
+        | (d', e') :: rest ->
+            if
+              e'.position < position
+              || (e'.position = position && log.compare d' d < 0)
+            then check d' && go rest
+            else true
+      in
+      go (sorted_index log)
+
+let first_before log d pred =
+  match Hashtbl.find_opt log.table d with
+  | None -> invalid_arg "Log.first_before: datum not in the log"
+  | Some e ->
+      let position = e.position in
+      let rec go = function
+        | [] -> None
+        | (d', e') :: rest ->
+            if
+              e'.position < position
+              || (e'.position = position && log.compare d' d < 0)
+            then if pred d' then Some d' else go rest
+            else None
+      in
+      go (sorted_index log)
 
 let before log d =
   List.rev
     (fold_before_exn "Log.before" log d (fun acc d' -> d' :: acc) [])
 
 let fold_entries log f init =
-  List.fold_left f init (entries log)
+  List.fold_left (fun acc (d, _) -> f acc d) init (sorted_index log)
 
 let length log = Hashtbl.length log.table

@@ -18,6 +18,7 @@ let outcome_of_events events =
     snapshots = [];
     final_logs = [];
     consensus_instances = 0;
+    consensus_rounds = 0;
     links = Channel_fault.stats_zero;
   }
 

@@ -47,5 +47,7 @@ let () =
       ("trace identity", Test_trace_identity.suite);
       ("trace index", Test_trace_index.suite);
       ("checker identity", Test_checker_identity.suite);
+      ("loadgen", Test_loadgen.suite);
+      ("throughput identity", Test_throughput_identity.suite);
       ("experiments", [ Alcotest.test_case "sections render" `Quick experiments_sanity ]);
     ]
