@@ -1,0 +1,220 @@
+(* The wall-clock parallel-backend suite (DESIGN.md "Backend seam &
+   parallel execution").
+
+   The two anchor topologies of the heavy-traffic suite — a contended
+   ring (one cyclic family, every cell coupled) and a disjoint
+   topology (many independent cells, the embarrassingly parallel
+   regime) — are executed on the shared-memory parallel backend
+   ([Backend_parallel]) across a jobs grid, with every event stamped
+   by a real nanosecond clock. Unlike every other suite in bench/,
+   the throughput and latency numbers here are WALL-CLOCK: they
+   measure the parallel runtime itself on the machine at hand and are
+   not bit-reproducible. What *is* pinned is the verdict: each run is
+   replayed on the deterministic simulator backend through the same
+   [Backend.config], and the [Properties.core] verdict vectors must
+   agree — the `verdicts_equal` flag the validator requires to be
+   true, the cross-backend contract of test/test_backend_identity.ml
+   applied to the committed trajectory.
+
+   `scaling` is msgs/sec relative to the jobs=1 entry of the same
+   case. The per-case `cores` field records
+   [Domain.recommended_domain_count] at generation time: on a
+   single-core machine the grid degenerates to scheduling overhead
+   (scaling <= 1 is expected there), so the committed numbers are
+   only meaningful together with that field — see EXPERIMENTS.md.
+
+   Wall-clock by design, everywhere (exec scope already waives the
+   rule; the attribute documents the intent). *)
+[@@@lint.allow "wall-clock"]
+
+type case = {
+  name : string;
+  topo : Topology.t;
+  rate_pct : int;
+  duration : int;
+  modes : bool;  (** batching + pipelining on *)
+}
+
+let mk_case shape ~rate ~duration ~modes =
+  let topo, label =
+    match shape with
+    | `Disjoint groups ->
+        ( Topology.disjoint ~groups ~size:3,
+          Printf.sprintf "disjoint-%dx3" groups )
+    | `Ring groups -> (Topology.ring ~groups, Printf.sprintf "ring-%d" groups)
+  in
+  {
+    name = Printf.sprintf "%s-r%d%s" label rate (if modes then "-modes" else "");
+    topo;
+    rate_pct = rate;
+    duration;
+    modes;
+  }
+
+(* The full grid is the ISSUE's anchor pair — ring-24 and
+   disjoint-16x3 — in both engine modes. *)
+let cases ~smoke =
+  if smoke then
+    [
+      mk_case (`Disjoint 8) ~rate:200 ~duration:8 ~modes:true;
+      mk_case (`Ring 6) ~rate:100 ~duration:8 ~modes:true;
+    ]
+  else
+    [
+      mk_case (`Disjoint 16) ~rate:200 ~duration:24 ~modes:false;
+      mk_case (`Disjoint 16) ~rate:200 ~duration:24 ~modes:true;
+      mk_case (`Ring 24) ~rate:800 ~duration:24 ~modes:false;
+      mk_case (`Ring 24) ~rate:800 ~duration:24 ~modes:true;
+    ]
+
+let jobs_grid ~smoke = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ]
+
+type run_result = {
+  jobs : int;
+  wall_ns : float;  (** mean wall clock of one parallel run *)
+  runs : int;
+  delivered : int;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+  verdicts_equal : bool;
+}
+
+type result = { case : case; msgs : int; runs : run_result list }
+
+let ns_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Same quota discipline as throughput_scaling: one run always, then
+   repeat until the quota is spent, reporting the mean. *)
+let timed ~quota_ms go =
+  let t0 = Unix.gettimeofday () in
+  let first = go () in
+  let total = ref (Unix.gettimeofday () -. t0) in
+  let runs = ref 1 in
+  let quota = float_of_int quota_ms /. 1000. in
+  while !total < quota && !runs < 10_000 do
+    let t0 = Unix.gettimeofday () in
+    ignore (go ());
+    total := !total +. (Unix.gettimeofday () -. t0);
+    incr runs
+  done;
+  (first, !total /. float_of_int !runs, !runs)
+
+(* The cross-backend contract for these fault-free Free-schedule
+   cases: the full core verdict vector, compared by name and
+   polarity. *)
+let verdict_vector o =
+  List.map (fun (name, v) -> (name, Result.is_ok v)) (Properties.core o)
+
+let measure_jobs ~quota_ms ~cfg ~sim_verdicts jobs =
+  let cfg = { cfg with Backend.jobs } in
+  let first, mean_s, runs =
+    timed ~quota_ms (fun () -> Backend_parallel.Parallel.run cfg)
+  in
+  let samples = Backend.wall_latencies first in
+  let pct q =
+    match Latency.percentile samples q with
+    | Some ns -> float_of_int ns /. 1e3
+    | None -> 0.
+  in
+  {
+    jobs;
+    wall_ns = mean_s *. 1e9;
+    runs;
+    delivered = List.length samples;
+    p50_us = pct 50;
+    p99_us = pct 99;
+    max_us = pct 100;
+    verdicts_equal = verdict_vector first.Backend.core = sim_verdicts;
+  }
+
+let measure ~quota_ms ~smoke c =
+  let workload =
+    Loadgen.open_loop ~rng:(Rng.make 1) ~rate_pct:c.rate_pct ~skew_pct:0
+      ~duration:c.duration c.topo
+  in
+  let fp = Failure_pattern.never ~n:(Topology.n c.topo) in
+  let cfg =
+    Backend.make_config ~seed:1 ~batching:c.modes ~pipelining:c.modes
+      ~clock:ns_clock ~topo:c.topo ~fp ~workload ()
+  in
+  (* one simulator replay pins the verdict vector for the whole jobs
+     grid: the sim backend ignores [jobs] *)
+  let sim_verdicts = verdict_vector (Backend.Sim.run cfg).Backend.core in
+  {
+    case = c;
+    msgs = List.length workload;
+    runs =
+      List.map (measure_jobs ~quota_ms ~cfg ~sim_verdicts) (jobs_grid ~smoke);
+  }
+
+let run_all ~quota_ms ~smoke =
+  List.map (measure ~quota_ms ~smoke) (cases ~smoke)
+
+let msgs_per_sec rr =
+  if rr.wall_ns > 0. then 1e9 *. float_of_int rr.delivered /. rr.wall_ns
+  else 0.
+
+(* msgs/sec relative to the jobs=1 entry of the same case. *)
+let scaling r rr =
+  match List.find_opt (fun b -> b.jobs = 1) r.runs with
+  | Some base when msgs_per_sec base > 0. -> msgs_per_sec rr /. msgs_per_sec base
+  | _ -> 1.
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_text results =
+  Printf.printf
+    "== Parallel backend wall clock (%d core%s recommended) ==\n"
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  List.iter
+    (fun r ->
+      List.iter
+        (fun rr ->
+          Printf.printf
+            "  %-24s jobs=%d %4d msgs  %8.0f msg/s wall  %5.2fx vs j1  p50 \
+             %8.1fus p99 %8.1fus%s\n"
+            r.case.name rr.jobs r.msgs (msgs_per_sec rr) (scaling r rr)
+            rr.p50_us rr.p99_us
+            (if rr.verdicts_equal then "" else "  VERDICTS DIFFER"))
+        r.runs)
+    results
+
+let json_case b r rr =
+  Printf.bprintf b
+    "    { \"name\": \"%s\", \"n\": %d, \"groups\": %d, \"jobs\": %d,\n\
+    \      \"cores\": %d, \"msgs\": %d, \"delivered\": %d, \"runs\": %d,\n\
+    \      \"wall_ns_per_run\": %.0f, \"msgs_per_sec\": %.1f, \"scaling\": \
+     %.3f,\n\
+    \      \"p50_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f,\n\
+    \      \"verdicts_equal\": %b }"
+    r.case.name (Topology.n r.case.topo)
+    (Topology.num_groups r.case.topo)
+    rr.jobs
+    (Domain.recommended_domain_count ())
+    r.msgs rr.delivered rr.runs rr.wall_ns (msgs_per_sec rr) (scaling r rr)
+    rr.p50_us rr.p99_us rr.max_us rr.verdicts_equal
+
+let json_trajectory ~label ~quota_ms results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"amcast-bench-trajectory/v1\",\n";
+  Buffer.add_string b "  \"suite\": \"parallel-scaling\",\n";
+  Buffer.add_string b "  \"entries\": [ {\n";
+  Printf.bprintf b "    \"label\": \"%s\",\n" label;
+  Printf.bprintf b "    \"quota_ms\": %d,\n" quota_ms;
+  Buffer.add_string b "    \"cases\": [\n";
+  let first = ref true in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun rr ->
+          if not !first then Buffer.add_string b ",\n";
+          first := false;
+          json_case b r rr)
+        r.runs)
+    results;
+  Buffer.add_string b "\n    ]\n  } ]\n}\n";
+  Buffer.contents b

@@ -132,7 +132,7 @@ let mode_result ~ns_per_run ~runs outcomes =
     spec_ok = List.for_all all_core_ok outcomes;
   }
 
-let measure ~quota_ms ~jobs c =
+let measure ~quota_ms ~pool c =
   let workload =
     Loadgen.open_loop ~rng:(Rng.make 1) ~rate_pct:c.rate_pct
       ~skew_pct:c.skew_pct ~duration:c.duration c.topo
@@ -143,7 +143,7 @@ let measure ~quota_ms ~jobs c =
   let on_run () =
     (* planning is part of the pipeline, so it is timed too *)
     let shards = Shard.plan ~topo:c.topo ~fp workload in
-    Shard.run ~jobs ~seed:1 ~batching:true ~pipelining:true shards
+    Shard.run ~pool ~seed:1 ~batching:true ~pipelining:true shards
   in
   let off_o, off_s, off_runs = timed ~quota_ms off_run in
   let on_o, on_s, on_runs = timed ~quota_ms on_run in
@@ -157,8 +157,11 @@ let measure ~quota_ms ~jobs c =
         (Array.to_list on_o);
   }
 
+(* One long-lived pool for the whole sweep: spawning domains per timed
+   run would charge spawn/join cost to every short-quota entry. *)
 let run_all ~quota_ms ~jobs ~smoke =
-  List.map (measure ~quota_ms ~jobs) (cases ~smoke)
+  Domain_pool.with_pool ~jobs (fun pool ->
+      List.map (measure ~quota_ms ~pool) (cases ~smoke))
 
 (* Simulated-time throughput: one tick is one simulated millisecond,
    so msgs/sec = delivered × 1000 / makespan-in-ticks. Deterministic —

@@ -1,0 +1,132 @@
+(* The BACKEND seam (DESIGN.md "Backend seam & parallel execution"): a
+   runtime is anything that turns a scenario-shaped [config] into a
+   checker-ready [outcome]. Two implementations live behind it — the
+   deterministic simulator ([Sim], a thin wrapper over [Runner.run],
+   bit-identical to calling the runner directly) and the shared-memory
+   parallel runtime ([Backend_parallel]), which executes Algorithm 1
+   processes on real domains and linearizes what it observed back into
+   a [Trace.t]. The checker consumes either unchanged. *)
+
+type config = {
+  topo : Topology.t;
+  fp : Failure_pattern.t;
+  workload : Workload.t;
+  variant : Algorithm1.variant;
+  seed : int;
+  horizon : int option;
+  batching : bool;
+  pipelining : bool;
+  faults : Channel_fault.spec;
+  mu_of : (Topology.t -> Failure_pattern.t -> Mu.t) option;
+  single_cell : bool;
+  jobs : int;
+  quantum : int;
+  clock : unit -> int;
+}
+
+type outcome = {
+  core : Runner.outcome;
+  wall : int array;
+  backend : string;
+}
+
+module type S = sig
+  val name : string
+  val run : config -> outcome
+end
+
+let make_config ?(variant = Algorithm1.Vanilla) ?(seed = 1) ?horizon
+    ?(batching = false) ?(pipelining = false) ?(faults = Channel_fault.none)
+    ?mu_of ?(single_cell = false) ?(jobs = 1) ?(quantum = 4)
+    ?(clock = fun () -> 0) ~topo ~fp ~workload () =
+  {
+    topo;
+    fp;
+    workload;
+    variant;
+    seed;
+    horizon;
+    batching;
+    pipelining;
+    faults;
+    mu_of;
+    single_cell;
+    jobs;
+    quantum;
+    clock;
+  }
+
+(* The backend seam has no scheduler hook — both backends execute the
+   fair runs of the paper's model — so the scenario's [schedule] field
+   is dropped: cross-backend comparisons are made on Free-schedule
+   replays (see the verdict-identity contract in DESIGN.md).
+
+   Ablated detectors are global objects (γ lies about whole families),
+   so ablation forces [single_cell]: the parallel backend then runs the
+   whole scenario in one cell instead of per-component shards, keeping
+   the detector structure identical to the simulator's. *)
+let of_scenario (s : Scenario.t) =
+  let mu_of topo fp =
+    let mu = Mu.make ~max_delay:s.Scenario.max_delay ~seed:s.Scenario.seed topo fp in
+    match s.Scenario.ablation with
+    | Scenario.Full -> mu
+    | Scenario.Lying_gamma -> Mu.gamma_lying mu
+    | Scenario.Always_gamma -> Mu.gamma_always mu
+  in
+  make_config ~variant:s.Scenario.variant ~seed:s.Scenario.seed
+    ~faults:s.Scenario.faults ~mu_of
+    ~single_cell:(s.Scenario.ablation <> Scenario.Full)
+    ~topo:(Scenario.topology s)
+    ~fp:(Scenario.failure_pattern s)
+    ~workload:(Scenario.workload s) ()
+
+module Sim = struct
+  let name = "sim"
+
+  let run c =
+    let mu = Option.map (fun f -> f c.topo c.fp) c.mu_of in
+    let core =
+      Runner.run ~variant:c.variant ~seed:c.seed ?horizon:c.horizon ?mu
+        ~batching:c.batching ~pipelining:c.pipelining ~faults:c.faults
+        ~topo:c.topo ~fp:c.fp ~workload:c.workload ()
+    in
+    { core; wall = [||]; backend = name }
+end
+
+(* Wall-clock multicast latencies, one sample per completed message:
+   invoke-event wall stamp to the latest delivery wall stamp over the
+   correct members of the destination group. Empty for backends that
+   do not stamp ([Sim]). *)
+let wall_latencies o =
+  if Array.length o.wall = 0 then []
+  else begin
+    let wall_of seq =
+      if seq >= 0 && seq < Array.length o.wall then Some o.wall.(seq) else None
+    in
+    let correct = Failure_pattern.correct o.core.Runner.fp in
+    List.filter_map
+      (fun { Workload.msg; _ } ->
+        let m = msg.Amsg.id in
+        let members =
+          Pset.inter correct (Topology.group o.core.Runner.topo msg.Amsg.dst)
+        in
+        match Trace.invoke_seq o.core.Runner.trace ~m with
+        | None -> None
+        | Some iseq -> (
+            match wall_of iseq with
+            | None -> None
+            | Some t0 ->
+                let latest =
+                  Pset.fold
+                    (fun p acc ->
+                      match Trace.delivery_seq o.core.Runner.trace ~p ~m with
+                      | None -> acc
+                      | Some dseq -> (
+                          match wall_of dseq with
+                          | None -> acc
+                          | Some t1 -> max acc (Some t1) ))
+                    members None
+                in
+                Option.map (fun t1 -> max 0 (t1 - t0)) latest))
+      o.core.Runner.workload
+  end

@@ -1,0 +1,96 @@
+(** The BACKEND seam: a runtime turns a scenario-shaped {!config} into
+    a checker-ready {!outcome} (DESIGN.md "Backend seam & parallel
+    execution").
+
+    Two implementations live behind {!S}: the deterministic simulator
+    ({!Sim}, a thin wrapper over {!Runner.run} — bit-identical traces,
+    RNG draw sequences and verdicts to calling the runner directly,
+    pinned by the trace-identity suites) and the shared-memory parallel
+    runtime ({!Backend_parallel.Parallel}), which runs Algorithm 1
+    processes on real OCaml 5 domains. The contract across backends is
+    {e verdict identity}, not trace identity: the linearized parallel
+    trace satisfies the same [Properties]/[Claims] verdicts as a
+    simulator replay of the same scenario (see
+    test/test_backend_identity.ml). *)
+
+type config = {
+  topo : Topology.t;
+  fp : Failure_pattern.t;
+  workload : Workload.t;
+  variant : Algorithm1.variant;
+  seed : int;  (** detector, channel-fault and engine-schedule seed *)
+  horizon : int option;
+      (** tick budget; [None] = {!Runner.default_horizon} plus the
+          channel-fault latency stretch, as in {!Runner.run} *)
+  batching : bool;
+  pipelining : bool;
+  faults : Channel_fault.spec;
+  mu_of : (Topology.t -> Failure_pattern.t -> Mu.t) option;
+      (** detector factory, applied per execution cell (the whole
+          scenario for {!Sim}, each shard for the parallel backend);
+          [None] = [Mu.make ~seed] *)
+  single_cell : bool;
+      (** run the scenario as one cell even when the topology splits
+          into independent components (forced by detector ablations,
+          whose γ lies are global) *)
+  jobs : int;  (** worker domains for the parallel backend *)
+  quantum : int;
+      (** ticks each cell advances per parallel round, before the
+          cross-cell in-flight check *)
+  clock : unit -> int;
+      (** monotonic wall clock, any fixed unit (callers outside lib
+          scope pass a real clock; [fun () -> 0] disables stamping) *)
+}
+
+type outcome = {
+  core : Runner.outcome;  (** what the indexed checker consumes *)
+  wall : int array;
+      (** wall-clock stamp of event [seq], same unit as [clock];
+          [[||]] for backends that do not stamp ({!Sim}) *)
+  backend : string;
+}
+
+module type S = sig
+  val name : string
+
+  val run : config -> outcome
+end
+
+val make_config :
+  ?variant:Algorithm1.variant ->
+  ?seed:int ->
+  ?horizon:int ->
+  ?batching:bool ->
+  ?pipelining:bool ->
+  ?faults:Channel_fault.spec ->
+  ?mu_of:(Topology.t -> Failure_pattern.t -> Mu.t) ->
+  ?single_cell:bool ->
+  ?jobs:int ->
+  ?quantum:int ->
+  ?clock:(unit -> int) ->
+  topo:Topology.t ->
+  fp:Failure_pattern.t ->
+  workload:Workload.t ->
+  unit ->
+  config
+(** Defaults: [Vanilla], [seed 1], no horizon override, modes off,
+    [Channel_fault.none], default detector, multi-cell, [jobs 1],
+    [quantum 4], null clock. *)
+
+val of_scenario : Scenario.t -> config
+(** The backend-facing view of a fuzzer scenario: detector ablation is
+    folded into [mu_of] (and forces [single_cell] — ablated γ lies are
+    global objects), faults/variant/seed carried over. The scenario's
+    [schedule] is dropped: backends execute the fair (Free) runs of the
+    paper's model, so cross-backend comparisons are Free-schedule
+    replays. *)
+
+module Sim : S
+(** The deterministic simulator behind the seam. [run c] is observably
+    [Runner.run] with [c]'s fields — same trace, same RNG draws, same
+    verdicts. *)
+
+val wall_latencies : outcome -> int list
+(** One wall-clock latency sample per completed message: invoke-event
+    stamp to the latest delivery stamp over correct destination
+    members. [[]] when the backend did not stamp. *)

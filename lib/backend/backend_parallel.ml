@@ -1,0 +1,341 @@
+(* The shared-memory parallel backend (DESIGN.md "Backend seam &
+   parallel execution"): Algorithm 1 processes execute on real OCaml 5
+   domains, exchanging multicast announcements through lock-free
+   mailboxes, and a stamp-based collector linearizes what happened into
+   a [Trace.t] the indexed checker consumes unchanged.
+
+   Structure. The scenario splits along [Shard.plan] into independent
+   cells (one per group-family component; [single_cell] collapses it to
+   one). Each cell holds one [Algorithm1.t] whose effects execute
+   atomically under the cell's mutex — the atomic-action model of the
+   paper, realised by a lock instead of the simulator's sequential
+   loop. One task per (cell, process) runs on a [Domain_pool]: a round
+   advances every task [quantum] ticks; the pool's barrier between
+   rounds keeps cells loosely tick-synchronized and gives the
+   happens-before edges that make the plain per-task state (vis rows,
+   steps slots, fired flags) safe to read back.
+
+   Announcements — the one genuine inter-process communication of the
+   Prop. 1 reduction — travel through per-destination [Mailbox]es. The
+   transport plugs into [Algorithm1.create ~transport]; the stepper's
+   own fault table is off, and the channel-fault fate of each copy is
+   drawn here from the same [(seed, m, q)]-keyed stream as the
+   simulator, with GLOBAL message/process ids, so the loss pattern of a
+   run equals the unsharded simulator replay of the same scenario.
+
+   Linearization. Steps of a cell are serialized by its mutex; a global
+   [Atomic] stamp counter is bumped (by the batch size) while the lock
+   is held, so stamp order restricted to a cell equals its real
+   serialization order, and stamps across independent cells interleave
+   arbitrarily — a legal linearization either way. Stamps are dense, so
+   sorting events by stamp yields the trace; wall-clock stamps ride
+   along per event batch for the latency figures. *)
+
+type arrival = { cm : int; at : int }
+
+type cell = {
+  sh : Shard.shard;
+  st : Algorithm1.t;
+  lock : Mutex.t;
+  boxes : arrival Mailbox.t array;  (* one per local process *)
+  vis : int array array;
+      (* vis.(p).(m): arrival tick of m's announcement at local p
+         (max_int = not arrived). Row p is written only by p's task
+         (mailbox drain, self-announce under the cell lock) and read
+         only inside p's own steps. *)
+  crash : int array;  (* local crash tick, max_int = correct *)
+  link_stats : Channel_fault.stats ref;
+      (* only touched under [lock] (announce runs inside a step) *)
+  mutable batches : (int * int * Trace.event list) list;
+      (* (stamp base, wall stamp, events oldest-first); under [lock] *)
+}
+
+let rec bump_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+
+(* A pass-through shard covering the whole scenario: used when the
+   plan is empty (no groups) and under [single_cell] (detector
+   ablations need the global γ structure). *)
+let identity_shard ~topo ~fp workload =
+  {
+    Shard.label = 0;
+    topo;
+    fp;
+    workload;
+    procs = Array.init (Topology.n topo) Fun.id;
+    gids = Array.init (Topology.num_groups topo) Fun.id;
+    msg_ids =
+      Array.of_list (List.map (fun r -> r.Workload.msg.Amsg.id) workload);
+  }
+
+let make_cell (cfg : Backend.config) ~inflight ~vhor sh =
+  let n = Topology.n sh.Shard.topo in
+  let k = List.length sh.Shard.workload in
+  let dst = Array.make (max k 1) 0 in
+  List.iter
+    (fun r -> dst.(r.Workload.msg.Amsg.id) <- r.Workload.msg.Amsg.dst)
+    sh.Shard.workload;
+  let boxes = Array.init n (fun _ -> Mailbox.create ()) in
+  let vis = Array.make_matrix n (max k 1) max_int in
+  let link_stats = ref Channel_fault.stats_zero in
+  (* The transport closures run inside [Algorithm1.step], i.e. under
+     the cell lock of the stepping task. *)
+  let announce ~m ~src ~time =
+    Pset.iter
+      (fun q ->
+        if q = src then begin
+          if time < vis.(src).(m) then vis.(src).(m) <- time
+        end
+        else if Channel_fault.is_none cfg.Backend.faults then begin
+          Mailbox.push boxes.(q) { cm = m; at = time };
+          Atomic.incr inflight
+        end
+        else begin
+          (* Same keyed stream as the simulator's [draw_visibility],
+             with global ids: the fate of (m, q) is a pure function of
+             the scenario, identical to the unsharded sim replay. *)
+          let rng =
+            Channel_fault.keyed ~seed:cfg.Backend.seed
+              [ sh.Shard.msg_ids.(m); sh.Shard.procs.(q) ]
+          in
+          let fate = Channel_fault.fate cfg.Backend.faults rng in
+          link_stats := Channel_fault.record !link_stats fate;
+          match fate.Channel_fault.arrivals with
+          | [] -> () (* lost for good: never enqueued *)
+          | d :: ds ->
+              let at = time + List.fold_left min d ds in
+              Mailbox.push boxes.(q) { cm = m; at };
+              Atomic.incr inflight;
+              bump_max vhor at
+        end)
+      (Topology.group sh.Shard.topo dst.(m))
+  in
+  let visible ~pid ~m ~time = vis.(pid).(m) <= time in
+  let horizon () = Atomic.get vhor in
+  let mu =
+    match cfg.Backend.mu_of with
+    | Some f -> f sh.Shard.topo sh.Shard.fp
+    | None -> Mu.make ~seed:cfg.Backend.seed sh.Shard.topo sh.Shard.fp
+  in
+  let st =
+    Algorithm1.create ~variant:cfg.Backend.variant
+      ~batching:cfg.Backend.batching ~pipelining:cfg.Backend.pipelining
+      ~transport:{ Algorithm1.announce; visible; horizon }
+      ~topo:sh.Shard.topo ~mu ~workload:sh.Shard.workload ()
+  in
+  let crash =
+    Array.init n (fun p ->
+        match Failure_pattern.crash_time sh.Shard.fp p with
+        | Some ct -> ct
+        | None -> max_int)
+  in
+  {
+    sh;
+    st;
+    lock = Mutex.create ();
+    boxes;
+    vis;
+    crash;
+    link_stats;
+    batches = [];
+  }
+
+(* Globalize a cell-local event: shard ids back to scenario ids, the
+   dense global stamp as [seq]. Tick labels are kept — rounds advance
+   every cell through the same tick window, so they stay comparable
+   (±quantum) across cells. *)
+let globalize_event sh gseq = function
+  | Trace.Invoke { m; p; time; _ } ->
+      Trace.Invoke
+        { m = sh.Shard.msg_ids.(m); p = sh.Shard.procs.(p); time; seq = gseq }
+  | Trace.Send { m; p; time; _ } ->
+      Trace.Send
+        { m = sh.Shard.msg_ids.(m); p = sh.Shard.procs.(p); time; seq = gseq }
+  | Trace.Phase_change { m; p; phase; time; _ } ->
+      Trace.Phase_change
+        {
+          m = sh.Shard.msg_ids.(m);
+          p = sh.Shard.procs.(p);
+          phase;
+          time;
+          seq = gseq;
+        }
+  | Trace.Deliver { m; p; time; _ } ->
+      Trace.Deliver
+        { m = sh.Shard.msg_ids.(m); p = sh.Shard.procs.(p); time; seq = gseq }
+
+let globalize_datum sh = function
+  | Algorithm1.Msg m -> Algorithm1.Msg sh.Shard.msg_ids.(m)
+  | Algorithm1.Pend (m, h, i) ->
+      Algorithm1.Pend (sh.Shard.msg_ids.(m), sh.Shard.gids.(h), i)
+  | Algorithm1.Stab (m, h) ->
+      Algorithm1.Stab (sh.Shard.msg_ids.(m), sh.Shard.gids.(h))
+
+let globalize_logs c =
+  List.map
+    (fun key ->
+      let g, h = key in
+      ( (c.sh.Shard.gids.(g), c.sh.Shard.gids.(h)),
+        List.map
+          (fun (d, pos, locked) -> (globalize_datum c.sh d, pos, locked))
+          (Algorithm1.log_snapshot c.st key) ))
+    (Algorithm1.log_keys c.st)
+
+module Parallel = struct
+  let name = "parallel"
+
+  let run (cfg : Backend.config) =
+    let topo = cfg.Backend.topo in
+    let fp = cfg.Backend.fp in
+    let workload = cfg.Backend.workload in
+    let n = Topology.n topo in
+    let horizon =
+      match cfg.Backend.horizon with
+      | Some h -> h
+      | None ->
+          Runner.default_horizon workload fp
+          + (List.length workload + 1)
+            * Channel_fault.latency_bound cfg.Backend.faults
+    in
+    let max_at =
+      List.fold_left (fun acc r -> max acc r.Workload.at) 0 workload
+    in
+    let quiesce_after = max_at + Failure_pattern.max_crash_time fp + 30 in
+    let quantum = max 1 cfg.Backend.quantum in
+    let inflight = Atomic.make 0 in
+    let vhor = Atomic.make 0 in
+    let gstamp = Atomic.make 0 in
+    let plan =
+      if cfg.Backend.single_cell then [ identity_shard ~topo ~fp workload ]
+      else
+        match Shard.plan ~topo ~fp workload with
+        | [] -> [ identity_shard ~topo ~fp workload ]
+        | shards -> shards
+    in
+    let cells = Array.of_list (List.map (make_cell cfg ~inflight ~vhor) plan) in
+    (* One task per (cell, local process). *)
+    let owner =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun c ->
+                Array.init (Topology.n c.sh.Shard.topo) (fun lp -> (c, lp)))
+              cells))
+    in
+    let ntasks = Array.length owner in
+    let steps = Array.make n 0 in
+    let fired = Array.make (max ntasks 1) false in
+    (* racecheck: tasks share [steps], [fired] and the cell records,
+       but task i owns exactly owner.(i) = (cell, lp): it alone writes
+       fired.(i), steps.(procs.(lp)) and vis row lp (drain outside the
+       lock, self-announce inside it); every Algorithm1 step and batch
+       append runs under the cell mutex; and the pool barrier between
+       rounds happens-before the coordinator's reads. *)
+    let[@lint.allow "shared-mutable-capture"] round_task t0 i =
+      let c, lp = owner.(i) in
+      List.iter
+        (fun { cm; at } ->
+          Atomic.decr inflight;
+          if at < c.vis.(lp).(cm) then c.vis.(lp).(cm) <- at)
+        (Mailbox.drain c.boxes.(lp));
+      let any = ref false in
+      for dt = 0 to quantum - 1 do
+        let t = t0 + dt in
+        if t <= horizon && t < c.crash.(lp) then
+          Mutex.protect c.lock (fun () ->
+              let before = Algorithm1.event_seq c.st in
+              if Algorithm1.step c.st ~pid:lp ~time:t then begin
+                any := true;
+                steps.(c.sh.Shard.procs.(lp)) <- steps.(c.sh.Shard.procs.(lp)) + 1;
+                let count = Algorithm1.event_seq c.st - before in
+                if count > 0 then begin
+                  let base = Atomic.fetch_and_add gstamp count in
+                  let w = cfg.Backend.clock () in
+                  c.batches <-
+                    (base, w, Algorithm1.events_since c.st ~from:before)
+                    :: c.batches
+                end
+              end)
+      done;
+      fired.(i) <- !any
+    in
+    let stats =
+      Domain_pool.with_pool ~jobs:cfg.Backend.jobs (fun pool ->
+          let rec loop t0 =
+            if t0 > horizon then
+              {
+                Engine.steps;
+                executed = Array.fold_left ( + ) 0 steps;
+                ticks_used = horizon;
+                quiescent = false;
+              }
+            else begin
+              Array.fill fired 0 (Array.length fired) false;
+              ignore (Domain_pool.run pool ntasks (round_task t0));
+              let tend = t0 + quantum - 1 in
+              let any = Array.exists Fun.id fired in
+              if
+                (not any)
+                && Atomic.get inflight = 0
+                && tend >= quiesce_after
+                && tend >= Atomic.get vhor
+              then
+                {
+                  Engine.steps;
+                  executed = Array.fold_left ( + ) 0 steps;
+                  ticks_used = tend;
+                  quiescent = true;
+                }
+              else loop (t0 + quantum)
+            end
+          in
+          loop 0)
+    in
+    (* Collect: dense stamps 0 .. gstamp-1, so placing each batch at
+       its base yields the linearized trace directly. *)
+    let total = Atomic.get gstamp in
+    let events = Array.make (max total 1) None in
+    let wall = Array.make (max total 1) 0 in
+    Array.iter
+      (fun c ->
+        List.iter
+          (fun (base, w, evs) ->
+            List.iteri
+              (fun j e ->
+                events.(base + j) <- Some (globalize_event c.sh (base + j) e);
+                wall.(base + j) <- w)
+              evs)
+          c.batches)
+      cells;
+    let trace =
+      Trace.make ~n
+        (List.filter_map Fun.id (Array.to_list (Array.sub events 0 total)))
+    in
+    let core =
+      {
+        Runner.topo;
+        workload;
+        fp;
+        variant = cfg.Backend.variant;
+        trace;
+        stats;
+        snapshots = [];
+        final_logs =
+          List.concat (Array.to_list (Array.map globalize_logs cells));
+        consensus_instances =
+          Array.fold_left
+            (fun acc c -> acc + Algorithm1.consensus_instances c.st)
+            0 cells;
+        consensus_rounds =
+          Array.fold_left
+            (fun acc c -> acc + Algorithm1.consensus_rounds c.st)
+            0 cells;
+        links =
+          Array.fold_left
+            (fun acc c -> Channel_fault.stats_add acc !(c.link_stats))
+            Channel_fault.stats_zero cells;
+      }
+    in
+    { Backend.core; wall = Array.sub wall 0 total; backend = name }
+end

@@ -1,0 +1,19 @@
+(** Shared-memory parallel backend: Algorithm 1 on real OCaml 5
+    domains (DESIGN.md "Backend seam & parallel execution").
+
+    The scenario splits along {!Shard.plan} into independent cells
+    (forced to one by [config.single_cell]); each cell's [Algorithm1]
+    state executes atomically under a mutex — the paper's atomic-action
+    model realised by a lock — with one {!Domain_pool} task per
+    (cell, process) advancing [config.quantum] ticks per barrier round.
+    Announcements travel through lock-free {!Mailbox}es; channel-fault
+    fates are drawn from the simulator's [(seed, m, q)]-keyed stream
+    with global ids, so the loss pattern matches the unsharded
+    simulator replay. A dense [Atomic] stamp counter, bumped under the
+    cell lock, linearizes observed events into a [Trace.t] the checker
+    consumes unchanged.
+
+    The cross-backend contract is {e verdict} identity, not trace
+    identity — see {!Backend} and test/test_backend_identity.ml. *)
+
+module Parallel : Backend.S

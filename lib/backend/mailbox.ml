@@ -1,0 +1,30 @@
+(* Lock-free multi-producer single-consumer mailbox: a Treiber stack of
+   pending items in a single [Atomic.t], drained wholesale by its owner.
+
+   Producers CAS-push onto the head; the consumer swaps the whole list
+   out with one [Atomic.exchange] and reverses it, so a drain returns
+   the items of each producer in its push order (the per-producer FIFO
+   the parallel backend needs — announcement copies from one source
+   arrive in send order). Cross-producer interleaving is whatever the
+   memory system made of the races, which is exactly the asynchronous
+   channel of the paper's model. *)
+
+type 'a t = 'a list Atomic.t
+
+let create () = Atomic.make []
+
+let push t x =
+  (* Standard CAS retry loop; [Atomic.compare_and_set] on the same cell
+     both sides read gives the usual lock-free progress guarantee. *)
+  let rec go () =
+    let cur = Atomic.get t in
+    if not (Atomic.compare_and_set t cur (x :: cur)) then go ()
+  in
+  go ()
+
+let drain t =
+  match Atomic.exchange t [] with
+  | [] -> []
+  | l -> List.rev l
+
+let is_empty t = Atomic.get t = []

@@ -1,0 +1,23 @@
+(** Lock-free multi-producer single-consumer mailbox.
+
+    A Treiber stack in one [Atomic.t]: any domain may {!push}; exactly
+    one owner calls {!drain}, which removes everything pending in a
+    single [Atomic.exchange]. Items pushed by one producer come back in
+    push order (per-producer FIFO); interleaving between producers is
+    unspecified, matching the asynchronous reliable channels of the
+    paper's model. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Lock-free; safe from any domain. *)
+
+val drain : 'a t -> 'a list
+(** Remove and return every pending item, oldest push of each producer
+    first. Single-consumer: only the owning domain may call this. *)
+
+val is_empty : 'a t -> bool
+(** Momentary emptiness probe (racy by nature; used only for stop
+    detection together with the in-flight counter). *)

@@ -91,14 +91,18 @@ let plan ~topo ~fp workload =
       })
     labels
 
-let run ?jobs ?variant ?(seed = 1) ?horizon ?enablement_cache ?batching
+let run ?jobs ?pool ?variant ?(seed = 1) ?horizon ?enablement_cache ?batching
     ?pipelining shards =
   (* The worker closure captures only the immutable shard list (walked
      by index) and scalar options; every mutable cell of a run is
      created inside the worker, so the racecheck pass needs no
      suppression. *)
   let n = List.length shards in
-  Domain_pool.map ?jobs n (fun i ->
-      let s = List.nth shards i in
-      Runner.run ?variant ~seed ?horizon ?enablement_cache ?batching
-        ?pipelining ~topo:s.topo ~fp:s.fp ~workload:s.workload ())
+  let go i =
+    let s = List.nth shards i in
+    Runner.run ?variant ~seed ?horizon ?enablement_cache ?batching ?pipelining
+      ~topo:s.topo ~fp:s.fp ~workload:s.workload ()
+  in
+  match pool with
+  | Some p -> Domain_pool.run p n go
+  | None -> Domain_pool.map ?jobs n go

@@ -28,6 +28,7 @@ val plan :
 
 val run :
   ?jobs:int ->
+  ?pool:Domain_pool.pool ->
   ?variant:Algorithm1.variant ->
   ?seed:int ->
   ?horizon:int ->
@@ -40,4 +41,7 @@ val run :
     per shard on a {!Domain_pool} of [jobs] workers (default
     {!Domain_pool.default_jobs}); result [i] belongs to shard [i] of
     the list. [jobs = 1] is the sequential reference the parallel runs
-    are bit-identical to. *)
+    are bit-identical to. When [pool] is given it takes precedence over
+    [jobs]: the shards run on the caller's long-lived
+    {!Domain_pool.pool} (bench loops reuse one pool across iterations
+    so domain spawn cost never pollutes short-quota entries). *)

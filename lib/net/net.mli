@@ -18,9 +18,16 @@
 
 type 'm t
 
-val create : ?faults:Channel_fault.spec -> ?seed:int -> n:int -> 'm t
+val create :
+  ?faults:Channel_fault.spec -> ?seed:int -> ?capacity:int -> n:int -> 'm t
 (** [faults] defaults to {!Channel_fault.none}; [seed] (default [1])
-    keys all fault draws. *)
+    keys all fault draws. [capacity] (default [0]) is a per-destination
+    preallocation hint: the first push into a destination's heap
+    allocates [max 4 capacity] slots in one shot, after which growth
+    doubles as usual — heavy-traffic callers size it to the expected
+    in-flight load to avoid doubling churn. Purely an allocation hint:
+    buffer contents and receive order are bit-identical for any value
+    (pinned by the FIFO-identity micro test). *)
 
 val send : 'm t -> src:int -> dst:int -> 'm -> unit
 (** Raises [Invalid_argument] with a descriptive message (naming the

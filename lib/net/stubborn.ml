@@ -7,8 +7,10 @@
 
 type 'm t = 'm Net.t
 
-let[@warning "-16"] create ?(faults = Channel_fault.none) ?seed ~n =
-  Net.create ~faults:{ faults with Channel_fault.stubborn = true } ?seed ~n
+let[@warning "-16"] create ?(faults = Channel_fault.none) ?seed ?capacity ~n =
+  Net.create
+    ~faults:{ faults with Channel_fault.stubborn = true }
+    ?seed ?capacity ~n
 
 let send = Net.send
 let multicast = Net.multicast

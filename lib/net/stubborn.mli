@@ -12,7 +12,11 @@
 
 type 'm t = 'm Net.t
 
-val create : ?faults:Channel_fault.spec -> ?seed:int -> n:int -> 'm t
+val create :
+  ?faults:Channel_fault.spec -> ?seed:int -> ?capacity:int -> n:int -> 'm t
+(** [capacity] is forwarded to {!Net.create} (per-destination
+    preallocation hint). *)
+
 val send : 'm t -> src:int -> dst:int -> 'm -> unit
 val multicast : 'm t -> src:int -> Pset.t -> 'm -> unit
 val receive : 'm t -> int -> (int * 'm) option

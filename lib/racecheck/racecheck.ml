@@ -410,7 +410,8 @@ let suppressed regions rule (loc : Location.t) =
 (* Call-site analysis                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let entry_points = [ "Domain_pool.map"; "Domain_pool.find_first"; "Domain.spawn" ]
+let entry_points =
+  [ "Domain_pool.map"; "Domain_pool.find_first"; "Domain_pool.run"; "Domain.spawn" ]
 
 type raw = { r_rule : string; r_loc : Location.t; r_msg : string }
 

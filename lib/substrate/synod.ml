@@ -45,7 +45,9 @@ let[@warning "-16"] create ?(faults = Channel_fault.none) ?(seed = 1) ~scope
     size = n;
     sigma;
     omega;
-    net = Net.create ~faults ~seed ~n;
+    (* each round exchanges with every scope member, so size the
+       per-destination buffers to one round-trip up front *)
+    net = Net.create ~faults ~seed ~capacity:(2 * n) ~n;
     nodes =
       Array.init n (fun _ ->
           {

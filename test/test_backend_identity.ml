@@ -1,0 +1,292 @@
+(* Cross-backend contract of the BACKEND seam (DESIGN.md "Backend seam
+   & parallel execution"):
+
+   - [Backend.Sim] is the simulator behind the signature: running a
+     config through it is bit-identical — trace, engine statistics,
+     consensus counters, verdicts — to calling [Runner.run] directly
+     with the same arguments.
+   - [Backend_parallel.Parallel] yields, for every scenario, a
+     linearized trace whose checker verdicts match the simulator
+     replay of the same scenario ({e verdict} identity, NOT trace
+     identity), at jobs = 1 and jobs = 4, including under channel
+     faults and the batching/pipelining engine modes.
+   - Parallel traces are well-formed per the [Trace] invariants: dense
+     ascending sequence numbers, monotone per-(process, message) phase
+     ranks, invocation before first delivery, deliveries only at
+     destination members.
+
+   What is compared follows the contract: Full-ablation scenarios
+   compare the whole [Properties.core] vector (termination exempted
+   exactly where [Scenario.check] exempts it — liveness-gap crashes,
+   the γ-free Pairwise variant on cyclic topologies, lossy links) plus
+   the trace/final-state claims 9–15; ablated scenarios (lying/always
+   γ) compare only the schedule-independent properties (integrity,
+   minimality), since an ablated detector's violations are witnesses
+   of specific schedules, which the backends do not share. *)
+
+let t = Alcotest.test_case
+
+let verdict_string checks =
+  String.concat ";"
+    (List.map
+       (function
+         | name, Ok () -> name ^ "=ok"
+         | name, Error e -> name ^ "=VIOLATED(" ^ e ^ ")")
+       checks)
+
+let event_to_string e = Format.asprintf "%a" Trace.pp_event e
+
+(* None = identical outcomes; Some msg = first divergence. *)
+let outcome_divergence (a : Runner.outcome) (b : Runner.outcome) =
+  let rec first_diff i = function
+    | [], [] -> None
+    | e :: _, [] | [], e :: _ ->
+        Some
+          (Printf.sprintf "event %d: one trace ends, other has %s" i
+             (event_to_string e))
+    | e :: es, e' :: es' ->
+        if e = e' then first_diff (i + 1) (es, es')
+        else
+          Some
+            (Printf.sprintf "event %d: %s vs %s" i (event_to_string e)
+               (event_to_string e'))
+  in
+  match
+    first_diff 0 (a.Runner.trace.Trace.events, b.Runner.trace.Trace.events)
+  with
+  | Some _ as d -> d
+  | None ->
+      if a.Runner.stats.Engine.steps <> b.Runner.stats.Engine.steps then
+        Some "per-process step counts differ"
+      else if a.Runner.stats.Engine.executed <> b.Runner.stats.Engine.executed
+      then Some "executed counts differ"
+      else if a.Runner.consensus_instances <> b.Runner.consensus_instances then
+        Some "consensus instance counts differ"
+      else if a.Runner.consensus_rounds <> b.Runner.consensus_rounds then
+        Some "consensus round counts differ"
+      else if
+        verdict_string (Properties.core a) <> verdict_string (Properties.core b)
+      then Some "checker verdicts differ"
+      else None
+
+let corpus () =
+  List.map
+    (fun (name, decoded) ->
+      match decoded with
+      | Error e -> Alcotest.failf "%s does not decode: %s" name e
+      | Ok s -> (name, s))
+    (Corpus.load ~dir:"../corpus")
+
+(* ------------------------------------------------------------------ *)
+(* Sim behind the seam = Runner                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sim_is_runner () =
+  List.iter
+    (fun (name, s) ->
+      let cfg = Backend.of_scenario s in
+      let o = Backend.Sim.run cfg in
+      Alcotest.(check string) (name ^ ": backend name") "sim" o.Backend.backend;
+      Alcotest.(check int)
+        (name ^ ": sim stamps nothing") 0
+        (Array.length o.Backend.wall);
+      (* the same Free-schedule replay, straight through the runner *)
+      let mu = Option.map (fun f -> f cfg.Backend.topo cfg.Backend.fp) cfg.Backend.mu_of in
+      let direct =
+        Runner.run ~variant:cfg.Backend.variant ~seed:cfg.Backend.seed ?mu
+          ~faults:cfg.Backend.faults ~topo:cfg.Backend.topo ~fp:cfg.Backend.fp
+          ~workload:cfg.Backend.workload ()
+      in
+      match outcome_divergence o.Backend.core direct with
+      | None -> ()
+      | Some d -> Alcotest.failf "%s: Sim vs Runner: %s" name d)
+    (corpus ())
+
+(* ------------------------------------------------------------------ *)
+(* Parallel trace well-formedness                                      *)
+(* ------------------------------------------------------------------ *)
+
+let event_fields = function
+  | Trace.Invoke { m; p; time; seq } -> (m, p, time, seq)
+  | Trace.Send { m; p; time; seq } -> (m, p, time, seq)
+  | Trace.Phase_change { m; p; time; seq; _ } -> (m, p, time, seq)
+  | Trace.Deliver { m; p; time; seq } -> (m, p, time, seq)
+
+let well_formed name (o : Backend.outcome) =
+  let events = o.Backend.core.Runner.trace.Trace.events in
+  let topo = o.Backend.core.Runner.topo in
+  let n = Topology.n topo in
+  (* dense ascending stamps, ids in range, wall array aligned *)
+  List.iteri
+    (fun i e ->
+      let m, p, _, seq = event_fields e in
+      if seq <> i then
+        Alcotest.failf "%s: event %d has seq %d (not dense)" name i seq;
+      if p < 0 || p >= n then Alcotest.failf "%s: event %d pid %d" name i p;
+      if m < 0 then Alcotest.failf "%s: event %d msg %d" name i m)
+    events;
+  Alcotest.(check int)
+    (name ^ ": wall stamps aligned") (List.length events)
+    (Array.length o.Backend.wall);
+  let trace = o.Backend.core.Runner.trace in
+  (* per-(p, m) phase ranks never decrease *)
+  List.iter
+    (fun { Workload.msg; _ } ->
+      let m = msg.Amsg.id in
+      for p = 0 to n - 1 do
+        let ranks =
+          List.map Trace.phase_rank (Trace.phase_history trace ~p ~m)
+        in
+        let rec mono = function
+          | a :: (b :: _ as rest) ->
+              if a > b then
+                Alcotest.failf "%s: phase rank drops at p%d m%d" name p m
+              else mono rest
+          | _ -> ()
+        in
+        mono ranks
+      done)
+    o.Backend.core.Runner.workload;
+  (* invocation precedes the first delivery; deliveries at members only *)
+  List.iter
+    (fun { Workload.msg; _ } ->
+      let m = msg.Amsg.id in
+      let members = Topology.group topo msg.Amsg.dst in
+      (match (Trace.invoke_seq trace ~m, Trace.first_delivery_seq trace ~m) with
+      | Some i, Some d when i >= d ->
+          Alcotest.failf "%s: m%d delivered (seq %d) before invoked (seq %d)"
+            name m d i
+      | None, Some _ -> Alcotest.failf "%s: m%d delivered, never invoked" name m
+      | _ -> ());
+      List.iter
+        (fun (p, m', _, _) ->
+          if m' = m && not (Pset.mem p members) then
+            Alcotest.failf "%s: m%d delivered at non-member p%d" name m p)
+        (Trace.deliveries trace))
+    o.Backend.core.Runner.workload
+
+(* ------------------------------------------------------------------ *)
+(* Verdict identity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let claims9_15 o =
+  [
+    ("claim9", Claims.claim9 o);
+    ("claim10", Claims.claim10 o);
+    ("claim11", Claims.claim11 o);
+    ("claim12", Claims.claim12 o);
+    ("claim13", Claims.claim13 o);
+    ("claim14", Claims.claim14 o);
+    ("claim15", Claims.claim15 o);
+  ]
+
+(* The contract's comparison vector for a scenario: everything that is
+   schedule-independent for its ablation class. *)
+let comparison_vector (s : Scenario.t) (o : Runner.outcome) =
+  let exempt_termination =
+    Scenario.liveness_gap s
+    || (s.Scenario.variant = Algorithm1.Pairwise
+       && Topology.cyclic_families (Scenario.topology s) <> [])
+    || Channel_fault.lossy s.Scenario.faults
+  in
+  match s.Scenario.ablation with
+  | Scenario.Full ->
+      List.filter
+        (fun (name, _) -> not (exempt_termination && name = "termination"))
+        (Properties.core o)
+      @ claims9_15 o
+  | Scenario.Lying_gamma | Scenario.Always_gamma ->
+      List.filter
+        (fun (name, _) -> name = "integrity" || name = "minimality")
+        (Properties.core o)
+
+let scenario_verdict_identity (name, s) =
+  let cfg = Backend.of_scenario s in
+  let sim = Backend.Sim.run cfg in
+  let want = verdict_string (comparison_vector s sim.Backend.core) in
+  List.iter
+    (fun jobs ->
+      let par =
+        Backend_parallel.Parallel.run { cfg with Backend.jobs }
+      in
+      well_formed (Printf.sprintf "%s jobs=%d" name jobs) par;
+      let got = verdict_string (comparison_vector s par.Backend.core) in
+      if got <> want then
+        Alcotest.failf "%s jobs=%d: parallel %s vs sim %s" name jobs got want)
+    [ 1; 4 ]
+
+let corpus_verdict_identity () = List.iter scenario_verdict_identity (corpus ())
+
+(* Generated sweep: loadgen traffic over the bench topologies, crossed
+   with engine modes and channel-fault specs. Full detector throughout,
+   so the whole core vector (plus claims) must agree. *)
+let generated_cases () =
+  let mk name topo ~crashes ~rate ~skew ~duration ~batching ~pipelining
+      ~faults seed =
+    let rng = Rng.make (200 + seed) in
+    let workload =
+      Loadgen.open_loop ~rng ~rate_pct:rate ~skew_pct:skew ~duration topo
+    in
+    let msgs =
+      List.map
+        (fun r ->
+          (r.Workload.msg.Amsg.src, r.Workload.msg.Amsg.dst, r.Workload.at))
+        workload
+    in
+    let groups =
+      List.map (Topology.group topo) (Topology.gids topo)
+    in
+    (* the equivalent Scenario drives the comparison-vector policy *)
+    let s =
+      Scenario.make ~crashes ~msgs ~faults ~seed ~n:(Topology.n topo) groups
+    in
+    (name, s, batching, pipelining)
+  in
+  let delayed = { Channel_fault.none with Channel_fault.delay = 3 } in
+  [
+    mk "disjoint-4x3" (Topology.disjoint ~groups:4 ~size:3) ~crashes:[]
+      ~rate:150 ~skew:0 ~duration:16 ~batching:false ~pipelining:false
+      ~faults:Channel_fault.none 1;
+    mk "disjoint-6x2-modes"
+      (Topology.disjoint ~groups:6 ~size:2)
+      ~crashes:[] ~rate:250 ~skew:100 ~duration:12 ~batching:true
+      ~pipelining:true ~faults:Channel_fault.none 2;
+    mk "ring-4-modes" (Topology.ring ~groups:4) ~crashes:[] ~rate:120 ~skew:0
+      ~duration:12 ~batching:true ~pipelining:true ~faults:Channel_fault.none 3;
+    mk "ring-5-crash" (Topology.ring ~groups:5)
+      ~crashes:[ (1, 8) ]
+      ~rate:100 ~skew:0 ~duration:10 ~batching:false ~pipelining:false
+      ~faults:Channel_fault.none 4;
+    mk "chain-4-delay" (Topology.chain ~groups:4) ~crashes:[] ~rate:150
+      ~skew:50 ~duration:12 ~batching:false ~pipelining:false ~faults:delayed 5;
+    mk "star-3-batched" (Topology.star ~satellites:3 ~hub_size:3) ~crashes:[]
+      ~rate:150 ~skew:100 ~duration:10 ~batching:true ~pipelining:false
+      ~faults:Channel_fault.none 6;
+  ]
+
+let generated_verdict_identity () =
+  List.iter
+    (fun (name, s, batching, pipelining) ->
+      let cfg = Backend.of_scenario s in
+      let cfg = { cfg with Backend.batching; pipelining } in
+      let sim = Backend.Sim.run cfg in
+      let want = verdict_string (comparison_vector s sim.Backend.core) in
+      List.iter
+        (fun jobs ->
+          let par = Backend_parallel.Parallel.run { cfg with Backend.jobs } in
+          well_formed (Printf.sprintf "%s jobs=%d" name jobs) par;
+          let got = verdict_string (comparison_vector s par.Backend.core) in
+          if got <> want then
+            Alcotest.failf "%s jobs=%d: parallel %s vs sim %s" name jobs got
+              want)
+        [ 1; 4 ])
+    (generated_cases ())
+
+let suite =
+  [
+    t "corpus: Sim behind the seam = Runner" `Quick sim_is_runner;
+    t "corpus: parallel verdicts = sim verdicts (jobs 1, 4)" `Slow
+      corpus_verdict_identity;
+    t "generated sweep: parallel verdicts = sim verdicts" `Quick
+      generated_verdict_identity;
+  ]
